@@ -1,0 +1,123 @@
+// Command mbtc runs the model-based trace-checking pipeline of the paper's
+// Figure 1: it executes a scenario (or the rollback fuzzer) on a traced
+// replica set, merges the per-node trace logs, post-processes them into a
+// state sequence, and checks the sequence against a RaftMongo
+// specification variant.
+//
+// Usage:
+//
+//	mbtc -scenario write_3_and_replicate [-spec v2] [-list]
+//	mbtc -fuzz [-steps 400] [-seed 7] [-sync-before-writes] [-flawed]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fuzzer"
+	"repro/internal/mbtc"
+	"repro/internal/raftmongo"
+	"repro/internal/replset"
+	"repro/internal/scenarios"
+	"repro/internal/tla"
+)
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", "", "run this handwritten scenario")
+		list         = flag.Bool("list", false, "list scenarios and exit")
+		specVariant  = flag.String("spec", "v2", "specification variant: v1 (global term) or v2 (gossiped terms)")
+		fuzz         = flag.Bool("fuzz", false, "run the rollback fuzzer instead of a scenario")
+		steps        = flag.Int("steps", 400, "fuzzer steps")
+		seed         = flag.Int64("seed", 7, "fuzzer seed")
+		syncFirst    = flag.Bool("sync-before-writes", false, "fully sync all followers before writes (the paper's mitigation)")
+		flawed       = flag.Bool("flawed", false, "enable the flawed initial-sync quorum rule and recent-only initial sync")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range scenarios.All() {
+			compat := ""
+			if sc.TracingIncompatible {
+				compat = " (tracing-incompatible)"
+			}
+			fmt.Printf("  %s%s\n", sc.Name, compat)
+		}
+		return
+	}
+	if err := run(*scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed); err != nil {
+		fmt.Fprintln(os.Stderr, "mbtc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool) error {
+	var (
+		cfg      replset.Config
+		workload func(*replset.Cluster) error
+		label    string
+	)
+	switch {
+	case fuzz:
+		fcfg := fuzzer.DefaultRollbackConfig()
+		fcfg.Steps = steps
+		fcfg.Seed = seed
+		fcfg.SyncBeforeWrites = syncFirst
+		cfg = replset.Config{
+			Nodes:                   fcfg.Nodes,
+			Seed:                    seed,
+			RecentOnlyInitialSync:   flawed,
+			FlawedInitialSyncQuorum: flawed,
+		}
+		workload = func(c *replset.Cluster) error {
+			rep, err := fuzzer.FuzzRollback(fcfg, c)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("rollback_fuzzer: %d steps, %d writes, %d elections, %d partitions, %d restarts\n",
+				rep.Steps, rep.Writes, rep.Elections, rep.Partitions, rep.Restarts)
+			return nil
+		}
+		label = "rollback_fuzzer"
+	case scenarioName != "":
+		for _, sc := range scenarios.All() {
+			if sc.Name == scenarioName {
+				cfg = replset.Config{Nodes: sc.Nodes, Arbiters: sc.Arbiters, Seed: 1}
+				workload = sc.Run
+				label = sc.Name
+				if sc.TracingIncompatible {
+					fmt.Println("warning: scenario is marked tracing-incompatible; expect a crash or violation")
+				}
+			}
+		}
+		if workload == nil {
+			return fmt.Errorf("unknown scenario %q (use -list)", scenarioName)
+		}
+	default:
+		return fmt.Errorf("need -scenario or -fuzz")
+	}
+
+	var spec *tla.Spec[raftmongo.State]
+	switch specVariant {
+	case "v1":
+		spec = raftmongo.SpecV1(mbtc.CheckConfig(cfg.Nodes))
+	case "v2":
+		spec = raftmongo.SpecV2(mbtc.CheckConfig(cfg.Nodes))
+	default:
+		return fmt.Errorf("unknown spec variant %q", specVariant)
+	}
+
+	rep, _, err := mbtc.Pipeline(cfg, workload, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s against RaftMongo %s: %d trace events, %d oplog prefix fills, max frontier %d\n",
+		label, specVariant, rep.Events, rep.PrefixFills, rep.MaxFrontier)
+	if rep.OK {
+		fmt.Println("MBTC PASS: the trace is a behaviour of the specification")
+		return nil
+	}
+	fmt.Printf("MBTC FAIL: trace diverges at step %d of %d (%s)\n", rep.FailedStep, rep.Events, rep.FailedEvent)
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command minitlc is the repository's TLC stand-in: it model-checks one of
+// the bundled specifications, prints state-space statistics and any
+// invariant violation with its counterexample, and can dump the reachable
+// state graph as GraphViz DOT.
+//
+// Usage:
+//
+//	minitlc -spec raftmongo-v1|raftmongo-v2|arrayot|locking \
+//	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
+//	        [-dot out.dot] [-liveness]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/arrayot"
+	"repro/internal/locking"
+	"repro/internal/raftmongo"
+	"repro/internal/tla"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "raftmongo-v1", "specification: raftmongo-v1, raftmongo-v2, arrayot, locking")
+		nodes    = flag.Int("nodes", 3, "replica-set size (raftmongo)")
+		maxTerm  = flag.Int("max-term", 3, "term bound (raftmongo)")
+		maxLog   = flag.Int("max-log", 3, "oplog length bound (raftmongo)")
+		actors   = flag.Int("actors", 2, "actor count (locking)")
+		dotPath  = flag.String("dot", "", "write the state graph as DOT to this file")
+		liveness = flag.Bool("liveness", false, "check the commit-point-propagation liveness property (raftmongo)")
+	)
+	flag.Parse()
+	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness); err != nil {
+		fmt.Fprintln(os.Stderr, "minitlc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool) error {
+	opts := tla.Options{RecordGraph: dotPath != "" || liveness}
+	switch specName {
+	case "raftmongo-v1", "raftmongo-v2":
+		cfg := raftmongo.Config{Nodes: nodes, MaxTerm: maxTerm, MaxLogLen: maxLog}
+		spec := raftmongo.SpecV1(cfg)
+		if specName == "raftmongo-v2" {
+			spec = raftmongo.SpecV2(cfg)
+		}
+		res, err := check(spec, opts)
+		if err != nil {
+			return err
+		}
+		if liveness {
+			w := tla.CheckEventuallyWithin(res.Graph, raftmongo.CommitPointsEqual, func(s raftmongo.State) bool {
+				return cfg.Nodes == s.NumNodes() && withinBounds(cfg, s)
+			})
+			if w == -1 {
+				fmt.Println("liveness: commit point is eventually propagated — OK")
+			} else {
+				fmt.Printf("liveness FAILED: state %q cannot reach agreement\n", res.Graph.Keys[w])
+			}
+		}
+		return dump(res.Graph, dotPath, spec.Name)
+	case "arrayot":
+		res, err := check(arrayot.Spec(arrayot.DefaultConfig()), opts)
+		if err != nil {
+			return err
+		}
+		if res.Graph != nil {
+			fmt.Printf("terminal states (generated test cases): %d\n", len(res.Graph.TerminalStates()))
+		}
+		return dump(res.Graph, dotPath, "array_ot")
+	case "locking":
+		res, err := check(locking.Spec(locking.SpecConfig{Actors: actors}), opts)
+		if err != nil {
+			return err
+		}
+		return dump(res.Graph, dotPath, "Locking")
+	}
+	return fmt.Errorf("unknown spec %q", specName)
+}
+
+func withinBounds(cfg raftmongo.Config, s raftmongo.State) bool {
+	for i := 0; i < s.NumNodes(); i++ {
+		if s.Terms[i] > cfg.MaxTerm || len(s.Oplogs[i]) > cfg.MaxLogLen {
+			return false
+		}
+	}
+	return true
+}
+
+func check[S tla.State](spec *tla.Spec[S], opts tla.Options) (*tla.Result[S], error) {
+	start := time.Now()
+	res, err := tla.Check(spec, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		if res != nil && res.Violation != nil {
+			v := res.Violation
+			fmt.Printf("%s: invariant %s VIOLATED: %v\n", spec.Name, v.Invariant, v.Err)
+			fmt.Printf("counterexample (%d steps):\n", len(v.Trace)-1)
+			for i, s := range v.Trace {
+				act := "<init>"
+				if i > 0 {
+					act = v.TraceActs[i-1]
+				}
+				fmt.Printf("  %2d %-45s %s\n", i, act, s.Key())
+			}
+			return res, nil
+		}
+		return nil, err
+	}
+	fmt.Printf("%s: %d distinct states, %d transitions, depth %d, %d terminal (%.2fs)\n",
+		spec.Name, res.Distinct, res.Transitions, res.Depth, res.Terminal, elapsed.Seconds())
+	return res, nil
+}
+
+func dump[S tla.State](g *tla.Graph[S], path, name string) error {
+	if path == "" || g == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteDOT(f, name); err != nil {
+		return err
+	}
+	fmt.Printf("state graph written to %s (%d nodes, %d edges)\n", path, len(g.Keys), len(g.Edges))
+	return nil
+}

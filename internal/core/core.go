@@ -1,0 +1,72 @@
+// Package core is the public face of the conformance toolkit this
+// repository reproduces from "eXtreme Modelling in Practice" (VLDB 2020):
+// the two model-based testing techniques for keeping a specification and
+// its implementations in conformance.
+//
+//   - Model-based trace checking (MBTC, §4): capture an execution trace
+//     from a running system and decide whether it is a behaviour of the
+//     specification. See TraceCheck and the mbtc package for the full
+//     replica-set pipeline.
+//
+//   - Model-based test-case generation (MBTCG, §5): exhaustively explore a
+//     specification's state space and emit one conformance test per
+//     completed behaviour. See GenerateOTTests and the mbtcg package.
+//
+// The toolkit is generic over specifications written against the tla
+// checker; the raftmongo and arrayot packages are the two specifications
+// from the paper.
+package core
+
+import (
+	"io"
+
+	"repro/internal/arrayot"
+	"repro/internal/mbtc"
+	"repro/internal/mbtcg"
+	"repro/internal/ot"
+	"repro/internal/raftmongo"
+	"repro/internal/replset"
+	"repro/internal/tla"
+	"repro/internal/trace"
+)
+
+// CheckSpec exhaustively model-checks a specification, returning the
+// result (state counts, invariant violations with shortest
+// counterexamples). It is a thin re-export of tla.Check for toolkit users.
+func CheckSpec[S tla.State](spec *tla.Spec[S], opts tla.Options) (*tla.Result[S], error) {
+	return tla.Check(spec, opts)
+}
+
+// TraceCheck decides whether an observed trace is a behaviour of the
+// specification using the linear frontier method. Observations may be
+// partial: variables the implementation could not log remain
+// existentially quantified (Pressler's refinement technique).
+func TraceCheck[S tla.State](spec *tla.Spec[S], obs []tla.Observation[S]) (*tla.TraceResult, error) {
+	return tla.CheckTrace(spec, obs)
+}
+
+// ReplicaSetPipeline runs the paper's Figure 1 MBTC pipeline: execute the
+// workload on a traced replica set, merge the per-node logs, post-process
+// them into a state sequence, and check it against the RaftMongo
+// specification variant.
+func ReplicaSetPipeline(cfg replset.Config, workload func(*replset.Cluster) error, spec *tla.Spec[raftmongo.State]) (*mbtc.Report, []trace.Event, error) {
+	return mbtc.Pipeline(cfg, workload, spec)
+}
+
+// GenerateOTTests runs the paper's §5 MBTCG pipeline: model-check the
+// array_ot specification, dump the state graph to dotPath as GraphViz DOT,
+// parse it back, and derive one test case per terminal state.
+func GenerateOTTests(cfg arrayot.Config, dotPath string) ([]mbtcg.TestCase, int, error) {
+	return mbtcg.Generate(cfg, dotPath)
+}
+
+// RunOTTests executes generated test cases against an OT implementation
+// and returns the conformance mismatches (empty means full conformance).
+func RunOTTests(cases []mbtcg.TestCase, impl ot.BatchTransformer) []mbtcg.Mismatch {
+	return mbtcg.RunAll(cases, impl)
+}
+
+// EmitOTTestFile writes the generated cases as a compilable Go test file.
+func EmitOTTestFile(w io.Writer, pkg, otImportPath string, cases []mbtcg.TestCase) error {
+	return mbtcg.EmitGoTests(w, pkg, otImportPath, cases)
+}

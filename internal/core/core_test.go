@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/arrayot"
+	"repro/internal/mbtcg"
+	"repro/internal/ot"
+	"repro/internal/otgo"
+	"repro/internal/raftmongo"
+	"repro/internal/replset"
+	"repro/internal/tla"
+)
+
+func TestCheckSpecFacade(t *testing.T) {
+	res, err := CheckSpec(raftmongo.SpecV1(raftmongo.Config{Nodes: 3, MaxTerm: 1, MaxLogLen: 1}), tla.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinct == 0 {
+		t.Fatal("no states")
+	}
+}
+
+func TestTraceCheckFacade(t *testing.T) {
+	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 10, MaxLogLen: 10}
+	spec := raftmongo.SpecV2(cfg)
+	init := spec.Init()[0]
+	succ := spec.Actions[2].Next(init)[0] // BecomePrimaryByMagic
+	obs := []tla.Observation[raftmongo.State]{
+		tla.FullObservation[raftmongo.State]{Want: init},
+		tla.FullObservation[raftmongo.State]{Want: succ},
+	}
+	res, err := TraceCheck(spec, obs)
+	if err != nil || !res.OK {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestEndToEndQuickstartFlow(t *testing.T) {
+	// MBTC half.
+	rep, _, err := ReplicaSetPipeline(
+		replset.Config{Nodes: 3, Seed: 1},
+		func(c *replset.Cluster) error {
+			if _, err := c.Election(0); err != nil {
+				return err
+			}
+			if err := c.ClientWrite(0); err != nil {
+				return err
+			}
+			if err := c.ReplicateAll(); err != nil {
+				return err
+			}
+			return c.GossipRound()
+		},
+		raftmongo.SpecV2(raftmongo.Config{Nodes: 3, MaxTerm: 100, MaxLogLen: 100}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("trace check failed: %+v", rep)
+	}
+
+	// MBTCG half, on a small configuration.
+	cfg := arrayot.Config{Initial: []int{1}, Clients: 2, OpsPerClient: 1, Transformer: ot.NewTransformer(nil, false)}
+	cases, distinct, err := GenerateOTTests(cfg, filepath.Join(t.TempDir(), "g.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distinct == 0 || len(cases) != 25 {
+		t.Fatalf("distinct=%d cases=%d", distinct, len(cases))
+	}
+	if ms := RunOTTests(cases, ot.NewTransformer(nil, false)); len(ms) != 0 {
+		t.Fatalf("reference mismatches: %v", ms[0])
+	}
+	if ms := RunOTTests(cases, otgo.Engine{}); len(ms) != 0 {
+		t.Fatalf("independent mismatches: %v", ms[0])
+	}
+	var buf bytes.Buffer
+	if err := EmitOTTestFile(&buf, "gen", "repro/internal/ot", cases); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "func TestGenerated(t *testing.T)") {
+		t.Fatal("emitted file malformed")
+	}
+	var _ []mbtcg.TestCase = cases
+}

@@ -1,0 +1,128 @@
+// Package coverage implements a named-branch coverage registry, standing in
+// for the LCOV branch-coverage measurements of the paper's §5.2. Every
+// condition in the OT merge rules registers two branches (condition true /
+// condition false), matching how LCOV counts branch outcomes; a test
+// suite's coverage is the fraction of registered branch outcomes it hits.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry tracks hit counts for a fixed set of named branch outcomes.
+// Branches must be registered up front so that the denominator of every
+// coverage fraction is fixed regardless of which code paths ran (LCOV
+// similarly derives the denominator from the compiled code, not the run).
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counts: make(map[string]uint64)}
+}
+
+// RegisterCond registers the two outcomes of the named condition
+// (name:T and name:F). Registering the same name twice is a no-op.
+func (r *Registry) RegisterCond(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, suffix := range []string{":T", ":F"} {
+		key := name + suffix
+		if _, ok := r.counts[key]; !ok {
+			r.counts[key] = 0
+			r.order = append(r.order, key)
+		}
+	}
+}
+
+// Cond records the outcome of the named condition and returns it, so call
+// sites read naturally: if r.Cond("SetErase.same", a == b) { ... }.
+// The condition must have been registered; unknown names panic, catching
+// drift between the registered branch list and the code.
+func (r *Registry) Cond(name string, outcome bool) bool {
+	key := name + ":F"
+	if outcome {
+		key = name + ":T"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.counts[key]; !ok {
+		panic(fmt.Sprintf("coverage: condition %q not registered", name))
+	}
+	r.counts[key]++
+	return outcome
+}
+
+// Total returns the number of registered branch outcomes.
+func (r *Registry) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+// Covered returns the number of registered branch outcomes hit at least once.
+func (r *Registry) Covered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Fraction returns covered/total, 0 for an empty registry.
+func (r *Registry) Fraction() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Covered()) / float64(t)
+}
+
+// Reset zeroes all hit counts, keeping registrations.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.counts {
+		r.counts[k] = 0
+	}
+}
+
+// Missed returns the sorted names of branch outcomes never hit.
+func (r *Registry) Missed() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for k, c := range r.counts {
+		if c == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report renders a coverage summary like "79/86 (91.9%)".
+func (r *Registry) Report() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", r.Covered(), r.Total(), 100*r.Fraction())
+}
+
+// Dump renders every branch outcome with its hit count, for debugging.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, k := range r.order {
+		fmt.Fprintf(&b, "%-50s %d\n", k, r.counts[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package coverage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegisterAndHit(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCond("x")
+	if r.Total() != 2 {
+		t.Fatalf("total = %d, want 2", r.Total())
+	}
+	if r.Covered() != 0 {
+		t.Fatalf("covered = %d, want 0", r.Covered())
+	}
+	if !r.Cond("x", true) {
+		t.Fatal("Cond must return its outcome")
+	}
+	if r.Covered() != 1 {
+		t.Fatalf("covered = %d, want 1", r.Covered())
+	}
+	if r.Cond("x", false) {
+		t.Fatal("Cond must return its outcome")
+	}
+	if r.Covered() != 2 || r.Fraction() != 1.0 {
+		t.Fatalf("covered = %d fraction = %v", r.Covered(), r.Fraction())
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCond("x")
+	r.Cond("x", true)
+	r.RegisterCond("x") // must not reset or duplicate
+	if r.Total() != 2 || r.Covered() != 1 {
+		t.Fatalf("total=%d covered=%d", r.Total(), r.Covered())
+	}
+}
+
+func TestUnregisteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unregistered condition")
+		}
+	}()
+	NewRegistry().Cond("nope", true)
+}
+
+func TestMissedAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCond("a")
+	r.RegisterCond("b")
+	r.Cond("a", true)
+	missed := r.Missed()
+	if len(missed) != 3 {
+		t.Fatalf("missed = %v", missed)
+	}
+	r.Reset()
+	if r.Covered() != 0 || r.Total() != 4 {
+		t.Fatalf("after reset: covered=%d total=%d", r.Covered(), r.Total())
+	}
+}
+
+func TestReportAndDump(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCond("a")
+	r.Cond("a", true)
+	if got := r.Report(); got != "1/2 (50.0%)" {
+		t.Fatalf("report = %q", got)
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "a:T") || !strings.Contains(dump, "a:F") {
+		t.Fatalf("dump = %q", dump)
+	}
+	if NewRegistry().Fraction() != 0 {
+		t.Fatal("empty registry fraction must be 0")
+	}
+}
+
+func TestConcurrentCond(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCond("c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Cond("c", (i+j)%2 == 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Covered() != 2 {
+		t.Fatalf("covered = %d", r.Covered())
+	}
+}

@@ -1,0 +1,200 @@
+// Package locking implements a hierarchical lock manager in the style of
+// the MongoDB Server's multiple-granularity locking (Gray et al. [11] in
+// the paper): a fixed hierarchy of resources with intent and exclusive
+// modes, a compatibility matrix, and strict acquisition ordering.
+//
+// It serves two roles in the reproduction:
+//
+//   - It is the concurrency-control substrate of the replica-set
+//     implementation (package replset), which is what made trace logging so
+//     hard in §4.2.1: logTlaPlusTraceEvent must read state protected by
+//     several locks, but its callers already hold some of them in orders
+//     that forbid acquiring the rest (Figure 5). The manager detects such
+//     out-of-order acquisition attempts instead of deadlocking.
+//
+//   - Its small specification (spec.go) is the stand-in for Locking.tla,
+//     the "next specification" of the marginal-cost argument (§4.2.5): its
+//     state variables are disjoint from RaftMongo's, so none of the
+//     RaftMongo tracing or post-processing machinery can be reused.
+package locking
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mode is a lock mode of the multiple-granularity protocol.
+type Mode uint8
+
+// Lock modes: intent-shared, intent-exclusive, shared, exclusive.
+const (
+	IS Mode = iota
+	IX
+	S
+	X
+)
+
+var modeNames = [...]string{"IS", "IX", "S", "X"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// compatible is the classic MGL compatibility matrix.
+var compatible = [4][4]bool{
+	IS: {IS: true, IX: true, S: true, X: false},
+	IX: {IS: true, IX: true, S: false, X: false},
+	S:  {IS: true, IX: false, S: true, X: false},
+	X:  {IS: false, IX: false, S: false, X: false},
+}
+
+// Compatible reports whether modes a and b may be held simultaneously by
+// different actors on the same resource.
+func Compatible(a, b Mode) bool { return compatible[a][b] }
+
+// Resource is a node in the lock hierarchy. Resources are ordered: locks
+// must be acquired in ascending Level, which is what rules out deadlocks —
+// and what logTlaPlusTraceEvent violates in Figure 5.
+type Resource struct {
+	Level int
+	Name  string
+}
+
+// The replica-set lock hierarchy, mirroring the Server's global →
+// replication-state → oplog nesting (locks A, B, C of Figure 5).
+var (
+	Global    = Resource{Level: 0, Name: "Global"}    // lock A
+	ReplState = Resource{Level: 1, Name: "ReplState"} // lock B
+	Oplog     = Resource{Level: 2, Name: "Oplog"}     // lock C
+)
+
+// Errors reported by the manager.
+var (
+	// ErrLockOrder reports an acquisition that violates the hierarchy
+	// order: the actor already holds a resource at the same or a deeper
+	// level. Proceeding would risk deadlock (Figure 5's scenario), so the
+	// manager refuses.
+	ErrLockOrder = errors.New("locking: out-of-order acquisition (deadlock risk)")
+	// ErrWouldBlock reports an incompatible grant when TryAcquire is used.
+	ErrWouldBlock = errors.New("locking: incompatible with held lock")
+	// ErrNotHeld reports a release of a lock the actor does not hold.
+	ErrNotHeld = errors.New("locking: lock not held")
+)
+
+type grant struct {
+	actor int
+	mode  Mode
+}
+
+// Manager is a hierarchical lock manager. All methods are safe for
+// concurrent use; acquisition is non-blocking (TryAcquire) because the
+// replica-set simulator schedules actors cooperatively.
+type Manager struct {
+	mu     sync.Mutex
+	grants map[Resource][]grant
+	held   map[int][]Resource // per-actor, in acquisition order
+	// stats
+	acquisitions  int
+	orderFailures int
+	conflicts     int
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		grants: make(map[Resource][]grant),
+		held:   make(map[int][]Resource),
+	}
+}
+
+// TryAcquire attempts to grant actor the lock on res in the given mode.
+// It fails with ErrLockOrder if the actor already holds a lock at the same
+// or a deeper level, and with ErrWouldBlock if another actor holds an
+// incompatible mode.
+func (m *Manager) TryAcquire(actor int, res Resource, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range m.held[actor] {
+		if h == res {
+			return fmt.Errorf("%w: %s already held", ErrLockOrder, res.Name)
+		}
+		if h.Level >= res.Level {
+			m.orderFailures++
+			return fmt.Errorf("%w: holding %s (level %d), requesting %s (level %d)",
+				ErrLockOrder, h.Name, h.Level, res.Name, res.Level)
+		}
+	}
+	for _, g := range m.grants[res] {
+		if g.actor != actor && !Compatible(g.mode, mode) {
+			m.conflicts++
+			return fmt.Errorf("%w: %s held in %s by actor %d, requested %s",
+				ErrWouldBlock, res.Name, g.mode, g.actor, mode)
+		}
+	}
+	m.grants[res] = append(m.grants[res], grant{actor: actor, mode: mode})
+	m.held[actor] = append(m.held[actor], res)
+	m.acquisitions++
+	return nil
+}
+
+// Release releases actor's grant on res.
+func (m *Manager) Release(actor int, res Resource) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gs := m.grants[res]
+	found := -1
+	for i, g := range gs {
+		if g.actor == actor {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("%w: actor %d on %s", ErrNotHeld, actor, res.Name)
+	}
+	m.grants[res] = append(gs[:found], gs[found+1:]...)
+	hs := m.held[actor]
+	for i, h := range hs {
+		if h == res {
+			m.held[actor] = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// ReleaseAll releases every lock actor holds, deepest first.
+func (m *Manager) ReleaseAll(actor int) {
+	m.mu.Lock()
+	hs := append([]Resource(nil), m.held[actor]...)
+	m.mu.Unlock()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Level > hs[j].Level })
+	for _, h := range hs {
+		_ = m.Release(actor, h)
+	}
+}
+
+// Holds reports whether actor holds res (in any mode).
+func (m *Manager) Holds(actor int, res Resource) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range m.held[actor] {
+		if h == res {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns acquisition counters: total grants, order violations
+// refused, and compatibility conflicts refused.
+func (m *Manager) Stats() (acquisitions, orderFailures, conflicts int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acquisitions, m.orderFailures, m.conflicts
+}

@@ -1,0 +1,158 @@
+package locking
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tla"
+)
+
+// This file is the stand-in for Locking.tla [27], the specification of
+// aspects of the MongoDB Server's lock hierarchy that the paper names as
+// the hypothetical second trace-checking target in §4.2.5. Its state
+// variables (per-actor lock holdings) are disjoint from RaftMongo's
+// (roles, terms, commit points, oplogs), which is the paper's argument
+// that almost no MBTC infrastructure would carry over to a second
+// specification.
+
+// SpecConfig bounds the locking model.
+type SpecConfig struct {
+	Actors int
+}
+
+// SpecState is a locking specification state: for each actor, the mode it
+// holds on each of the three hierarchy levels (or -1).
+type SpecState struct {
+	// Held[a][level] is int8(mode) or -1.
+	Held [][3]int8
+}
+
+// Key implements tla.State.
+func (s SpecState) Key() string {
+	var b strings.Builder
+	for i, h := range s.Held {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d,%d,%d", h[0], h[1], h[2])
+	}
+	return b.String()
+}
+
+func (s SpecState) clone() SpecState {
+	return SpecState{Held: append([][3]int8(nil), s.Held...)}
+}
+
+var resources = [3]Resource{Global, ReplState, Oplog}
+
+// Spec returns the executable locking specification: actors acquire locks
+// top-down (intent modes above, S/X at the leaf) and release bottom-up.
+// The invariants are the MGL safety conditions.
+func Spec(cfg SpecConfig) *tla.Spec[SpecState] {
+	modes := []Mode{IS, IX, S, X}
+	return &tla.Spec[SpecState]{
+		Name: "Locking",
+		Init: func() []SpecState {
+			held := make([][3]int8, cfg.Actors)
+			for i := range held {
+				held[i] = [3]int8{-1, -1, -1}
+			}
+			return []SpecState{{Held: held}}
+		},
+		Actions: []tla.Action[SpecState]{
+			{Name: "Acquire", Next: func(s SpecState) []SpecState {
+				var out []SpecState
+				for a := range s.Held {
+					// Next level this actor may acquire: one past its
+					// deepest holding (top-down discipline).
+					lvl := 0
+					for lvl < 3 && s.Held[a][lvl] >= 0 {
+						lvl++
+					}
+					if lvl == 3 {
+						continue
+					}
+					for _, mode := range modes {
+						// Intent discipline: S/X at a level require IS/IX
+						// above, which the top-down rule plus this mode
+						// filter enforce.
+						if lvl < 2 && (mode == S || mode == X) {
+							continue
+						}
+						if lvl > 0 {
+							parent := Mode(s.Held[a][lvl-1])
+							if (mode == X || mode == IX) && parent != IX {
+								continue
+							}
+						}
+						if !grantable(s, a, lvl, mode) {
+							continue
+						}
+						c := s.clone()
+						c.Held[a][lvl] = int8(mode)
+						out = append(out, c)
+					}
+				}
+				return out
+			}},
+			{Name: "Release", Next: func(s SpecState) []SpecState {
+				var out []SpecState
+				for a := range s.Held {
+					// Release bottom-up: deepest held lock first.
+					lvl := 2
+					for lvl >= 0 && s.Held[a][lvl] < 0 {
+						lvl--
+					}
+					if lvl < 0 {
+						continue
+					}
+					c := s.clone()
+					c.Held[a][lvl] = -1
+					out = append(out, c)
+				}
+				return out
+			}},
+		},
+		Invariants: []tla.Invariant[SpecState]{
+			{Name: "Compatibility", Check: func(s SpecState) error {
+				for lvl := 0; lvl < 3; lvl++ {
+					for a := range s.Held {
+						for b := a + 1; b < len(s.Held); b++ {
+							ma, mb := s.Held[a][lvl], s.Held[b][lvl]
+							if ma >= 0 && mb >= 0 && !Compatible(Mode(ma), Mode(mb)) {
+								return fmt.Errorf("actors %d and %d hold %s/%s on %s",
+									a, b, Mode(ma), Mode(mb), resources[lvl].Name)
+							}
+						}
+					}
+				}
+				return nil
+			}},
+			{Name: "IntentAboveLeaf", Check: func(s SpecState) error {
+				for a := range s.Held {
+					for lvl := 1; lvl < 3; lvl++ {
+						if s.Held[a][lvl] >= 0 && s.Held[a][lvl-1] < 0 {
+							return fmt.Errorf("actor %d holds %s without a parent intent lock",
+								a, resources[lvl].Name)
+						}
+					}
+				}
+				return nil
+			}},
+		},
+	}
+}
+
+// grantable checks the compatibility matrix for a new grant in the spec
+// state, mirroring Manager.TryAcquire.
+func grantable(s SpecState, actor, lvl int, mode Mode) bool {
+	for b := range s.Held {
+		if b == actor {
+			continue
+		}
+		if mb := s.Held[b][lvl]; mb >= 0 && !Compatible(Mode(mb), mode) {
+			return false
+		}
+	}
+	return true
+}

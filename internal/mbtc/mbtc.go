@@ -1,0 +1,206 @@
+// Package mbtc implements model-based trace-checking (§4): the full Figure
+// 1 pipeline. A replica-set workload runs with trace logging enabled; the
+// per-node logs are merged by timestamp; the Python-script-equivalent
+// post-processor builds the replica-set state sequence; and the sequence is
+// checked against the RaftMongo specification.
+//
+// The check uses partial observations: each trace event constrains the
+// reporting node's four variables (and, for a leader event, every other
+// node's role — the one-leader assumption of the processing script), while
+// the other nodes' terms, commit points and oplogs remain existentially
+// quantified in the checker's frontier. This is Pressler's refinement
+// technique [34]: variables the implementation cannot log are left for the
+// checker to solve.
+package mbtc
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/raftmongo"
+	"repro/internal/replset"
+	"repro/internal/tla"
+	"repro/internal/trace"
+)
+
+// NodeObs is the partial observation derived from one trace event: the
+// reporting node's specification variables, with the oplog made whole by
+// the post-processor when the implementation reported a truncated one.
+type NodeObs struct {
+	Node        int
+	Role        raftmongo.Role
+	Term        int
+	CommitPoint raftmongo.CommitPoint
+	Oplog       []int
+	// LeaderExclusive asserts every other node is a follower; set for
+	// Leader events, per the processing script's assumption.
+	LeaderExclusive bool
+}
+
+// Matches implements tla.Observation for raftmongo.State.
+func (o NodeObs) Matches(s raftmongo.State) bool {
+	n := o.Node
+	if s.Roles[n] != o.Role || s.Terms[n] != o.Term || s.CommitPoints[n] != o.CommitPoint {
+		return false
+	}
+	if len(s.Oplogs[n]) != len(o.Oplog) {
+		return false
+	}
+	for i, t := range o.Oplog {
+		if s.Oplogs[n][i] != t {
+			return false
+		}
+	}
+	if o.LeaderExclusive {
+		for j, r := range s.Roles {
+			if j != n && r != raftmongo.Follower {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (o NodeObs) String() string {
+	return fmt.Sprintf("node %d: %s term=%d cp=%s oplog=%v", o.Node, o.Role, o.Term, o.CommitPoint, o.Oplog)
+}
+
+// initObs matches only the canonical initial state.
+type initObs struct{ nodes int }
+
+func (o initObs) Matches(s raftmongo.State) bool {
+	for i := 0; i < o.nodes; i++ {
+		if s.Roles[i] != raftmongo.Follower || s.Terms[i] != 0 ||
+			!s.CommitPoints[i].IsNull() || len(s.Oplogs[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (o initObs) String() string { return "initial state" }
+
+// ObservationsFromProcessed converts a processed state sequence plus its
+// source events into checker observations: one initial observation, then
+// one partial observation per event.
+func ObservationsFromProcessed(nodes int, events []trace.Event, res *trace.ProcessResult) []tla.Observation[raftmongo.State] {
+	obs := make([]tla.Observation[raftmongo.State], 0, len(events)+1)
+	obs = append(obs, initObs{nodes: nodes})
+	for i, e := range events {
+		st := res.States[i+1]
+		obs = append(obs, NodeObs{
+			Node:            e.Node,
+			Role:            st.Roles[e.Node],
+			Term:            st.Terms[e.Node],
+			CommitPoint:     st.CommitPoints[e.Node],
+			Oplog:           append([]int(nil), st.Oplogs[e.Node]...),
+			LeaderExclusive: e.Role == "Leader",
+		})
+	}
+	return obs
+}
+
+// Report is the outcome of one MBTC pipeline run.
+type Report struct {
+	Events        int
+	PrefixFills   int
+	Checked       int // observations matched
+	OK            bool
+	FailedStep    int    // -1 when OK
+	FailedEvent   string // the event that diverged, when !OK
+	MaxFrontier   int
+	StatesVisited []int // frontier sizes per step
+}
+
+// CheckEvents runs the post-processor and the trace checker over merged
+// events against the given specification variant.
+func CheckEvents(nodes int, events []trace.Event, spec *tla.Spec[raftmongo.State]) (*Report, error) {
+	processed, err := trace.Process(nodes, events, trace.ProcessOptions{FillOplogPrefixes: true})
+	if err != nil {
+		return nil, fmt.Errorf("mbtc: post-processing: %w", err)
+	}
+	obs := ObservationsFromProcessed(nodes, events, processed)
+	res, checkErr := tla.CheckTrace(spec, obs)
+	rep := &Report{
+		Events:        len(events),
+		PrefixFills:   processed.PrefixFill,
+		Checked:       res.Steps,
+		OK:            res.OK,
+		FailedStep:    res.FailedStep,
+		StatesVisited: res.FrontierSizes,
+	}
+	for _, n := range res.FrontierSizes {
+		if n > rep.MaxFrontier {
+			rep.MaxFrontier = n
+		}
+	}
+	if !res.OK && res.FailedStep > 0 && res.FailedStep-1 < len(events) {
+		e := events[res.FailedStep-1]
+		rep.FailedEvent = fmt.Sprintf("%s by node %d at %v", e.Action, e.Node, e.Timestamp)
+	}
+	if checkErr != nil {
+		var te *tla.TraceError
+		if asTraceError(checkErr, &te) {
+			return rep, nil // divergence is a result, not a pipeline error
+		}
+		return rep, checkErr
+	}
+	return rep, nil
+}
+
+func asTraceError(err error, target **tla.TraceError) bool {
+	te, ok := err.(*tla.TraceError)
+	if ok {
+		*target = te
+	}
+	return ok
+}
+
+// RunTraced constructs a traced cluster, runs the workload, and returns
+// the timestamp-merged trace events — the capture half of Figure 1.
+func RunTraced(cfg replset.Config, workload func(*replset.Cluster) error) ([]trace.Event, error) {
+	bufs := make([]*bytes.Buffer, cfg.Nodes)
+	sinks := make([]io.Writer, cfg.Nodes)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		sinks[i] = bufs[i]
+	}
+	cfg.TraceSinks = sinks
+	c, err := replset.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := workload(c); err != nil {
+		return nil, fmt.Errorf("mbtc: workload: %w", err)
+	}
+	streams := make([][]trace.Event, cfg.Nodes)
+	for i, b := range bufs {
+		evs, rerr := trace.ReadEvents(bytes.NewReader(b.Bytes()))
+		if rerr != nil {
+			return nil, rerr
+		}
+		streams[i] = evs
+	}
+	return trace.Merge(streams)
+}
+
+// Pipeline runs a traced workload end to end: construct a traced cluster,
+// run the workload, collect and merge the logs, post-process, and check
+// against the spec. It returns the report plus the merged events (for the
+// Trace-module path of package tlatext).
+func Pipeline(cfg replset.Config, workload func(*replset.Cluster) error, spec *tla.Spec[raftmongo.State]) (*Report, []trace.Event, error) {
+	merged, err := RunTraced(cfg, workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := CheckEvents(cfg.Nodes, merged, spec)
+	return rep, merged, err
+}
+
+// CheckConfig returns the specification configuration used for trace
+// checking: generous bounds, since the frontier method never explores
+// beyond the observed behaviour.
+func CheckConfig(nodes int) raftmongo.Config {
+	return raftmongo.Config{Nodes: nodes, MaxTerm: 100, MaxLogLen: 100}
+}

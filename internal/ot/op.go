@@ -1,0 +1,187 @@
+// Package ot is the reference implementation of MongoDB Realm Sync's
+// array operational-transformation algorithm — the system under test of the
+// paper's MBTCG case study (Section 5). It corresponds to the original C++
+// implementation: the merge rules are written in the same nested
+// conditional style (so branch coverage is comparable), and the historical
+// ArraySwap/ArrayMove non-termination bug that TLC discovered is preserved
+// behind the Legacy flag.
+//
+// Realm Sync has 19 operation types; the six array-based operations below
+// carry the 21 non-trivial merge rules (6·7/2). The remaining operation
+// catalogue, whose merges are mostly trivial (the incoming operation is
+// applied unchanged by both peers), is in catalogue.go.
+package ot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind identifies an array operation type.
+type Kind uint8
+
+// The six array-based operation kinds of Realm Sync (§5).
+const (
+	KindSet Kind = iota
+	KindInsert
+	KindMove
+	KindSwap
+	KindErase
+	KindClear
+)
+
+var kindNames = [...]string{"ArraySet", "ArrayInsert", "ArrayMove", "ArraySwap", "ArrayErase", "ArrayClear"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Meta carries the conflict-resolution metadata of an operation: Realm Sync
+// uses a last-write-wins rule over (timestamp, peer id) when operations
+// have no causal order. Peer ids are unique, so Wins is a total order.
+type Meta struct {
+	Timestamp int
+	Peer      int
+}
+
+// Wins reports whether m beats other under last-write-wins.
+func (m Meta) Wins(other Meta) bool {
+	if m.Timestamp != other.Timestamp {
+		return m.Timestamp > other.Timestamp
+	}
+	return m.Peer > other.Peer
+}
+
+// Op is one array operation. Which index fields are meaningful depends on
+// Kind:
+//
+//	ArraySet:    Ndx (position), Value
+//	ArrayInsert: Ndx (insertion point 0..len), Value
+//	ArrayMove:   Ndx (source), To (final position of the element)
+//	ArraySwap:   Ndx, To (the two positions)
+//	ArrayErase:  Ndx
+//	ArrayClear:  no fields
+type Op struct {
+	Kind  Kind
+	Ndx   int
+	To    int
+	Value int
+	Meta  Meta
+}
+
+// Constructors for each kind, mirroring the Realm instruction builders.
+
+// Set replaces the value of the existing element at ndx.
+func Set(ndx, value int) Op { return Op{Kind: KindSet, Ndx: ndx, Value: value} }
+
+// Insert inserts a new element at position ndx (growing the array by one).
+func Insert(ndx, value int) Op { return Op{Kind: KindInsert, Ndx: ndx, Value: value} }
+
+// Move moves the element at from so it ends at position to.
+func Move(from, to int) Op { return Op{Kind: KindMove, Ndx: from, To: to} }
+
+// Swap exchanges the elements at positions a and b. Deprecated in the real
+// system after the non-termination bug (§5.1.3); retained for the legacy
+// experiment.
+func Swap(a, b int) Op { return Op{Kind: KindSwap, Ndx: a, To: b} }
+
+// Erase removes the element at ndx.
+func Erase(ndx int) Op { return Op{Kind: KindErase, Ndx: ndx} }
+
+// Clear removes all elements.
+func Clear() Op { return Op{Kind: KindClear} }
+
+// WithMeta returns a copy of op carrying the given LWW metadata.
+func (o Op) WithMeta(m Meta) Op { o.Meta = m; return o }
+
+func (o Op) String() string {
+	switch o.Kind {
+	case KindSet:
+		return fmt.Sprintf("ArraySet{%d, %d}", o.Ndx, o.Value)
+	case KindInsert:
+		return fmt.Sprintf("ArrayInsert{%d, %d}", o.Ndx, o.Value)
+	case KindMove:
+		return fmt.Sprintf("ArrayMove{%d, %d}", o.Ndx, o.To)
+	case KindSwap:
+		return fmt.Sprintf("ArraySwap{%d, %d}", o.Ndx, o.To)
+	case KindErase:
+		return fmt.Sprintf("ArrayErase{%d}", o.Ndx)
+	case KindClear:
+		return "ArrayClear{}"
+	}
+	return "ArrayUnknown{}"
+}
+
+// Errors returned by Apply on malformed operations. A conforming transform
+// never produces one of these on a valid peer state, so any occurrence in a
+// generated test run is itself a conformance failure.
+var (
+	ErrIndexRange = errors.New("ot: index out of range")
+)
+
+// Apply applies op to arr and returns the new array. arr is not modified.
+func Apply(arr []int, op Op) ([]int, error) {
+	n := len(arr)
+	switch op.Kind {
+	case KindSet:
+		if op.Ndx < 0 || op.Ndx >= n {
+			return nil, fmt.Errorf("%w: %s on array of %d", ErrIndexRange, op, n)
+		}
+		out := append([]int(nil), arr...)
+		out[op.Ndx] = op.Value
+		return out, nil
+	case KindInsert:
+		if op.Ndx < 0 || op.Ndx > n {
+			return nil, fmt.Errorf("%w: %s on array of %d", ErrIndexRange, op, n)
+		}
+		out := make([]int, 0, n+1)
+		out = append(out, arr[:op.Ndx]...)
+		out = append(out, op.Value)
+		out = append(out, arr[op.Ndx:]...)
+		return out, nil
+	case KindMove:
+		if op.Ndx < 0 || op.Ndx >= n || op.To < 0 || op.To >= n {
+			return nil, fmt.Errorf("%w: %s on array of %d", ErrIndexRange, op, n)
+		}
+		out := append([]int(nil), arr...)
+		v := out[op.Ndx]
+		out = append(out[:op.Ndx], out[op.Ndx+1:]...)
+		rest := append([]int(nil), out[op.To:]...)
+		out = append(append(out[:op.To], v), rest...)
+		return out, nil
+	case KindSwap:
+		if op.Ndx < 0 || op.Ndx >= n || op.To < 0 || op.To >= n {
+			return nil, fmt.Errorf("%w: %s on array of %d", ErrIndexRange, op, n)
+		}
+		out := append([]int(nil), arr...)
+		out[op.Ndx], out[op.To] = out[op.To], out[op.Ndx]
+		return out, nil
+	case KindErase:
+		if op.Ndx < 0 || op.Ndx >= n {
+			return nil, fmt.Errorf("%w: %s on array of %d", ErrIndexRange, op, n)
+		}
+		out := make([]int, 0, n-1)
+		out = append(out, arr[:op.Ndx]...)
+		out = append(out, arr[op.Ndx+1:]...)
+		return out, nil
+	case KindClear:
+		return []int{}, nil
+	}
+	return nil, fmt.Errorf("ot: unknown operation kind %d", op.Kind)
+}
+
+// ApplyAll applies ops to arr in order.
+func ApplyAll(arr []int, ops []Op) ([]int, error) {
+	cur := arr
+	for _, op := range ops {
+		next, err := Apply(cur, op)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}

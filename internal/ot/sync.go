@@ -1,0 +1,233 @@
+package ot
+
+import "fmt"
+
+// This file implements the Realm Sync synchronization model of §2.2: a
+// central server and offline-first clients, each holding a copy of the data
+// (the state) and a durable log of operations (the history). When a client
+// merges, the incoming server changes are rebased on top of the client's
+// unmerged local changes via operational transformation, and the client's
+// changes — transformed symmetrically — are appended to the server history.
+
+// Progress records how much of the server history a client has integrated
+// and how much of the client's history the server has integrated — the
+// progress[c] record of the paper's array_ot.tla (Figure 6).
+type Progress struct {
+	ServerVersion int // prefix of the server history the client has merged
+	ClientVersion int // prefix of the client history the server has merged
+}
+
+// BatchTransformer rebases two concurrent operation sequences through each
+// other. Both the reference Transformer and the independent otgo engine
+// satisfy it, so a Network can be driven by either implementation — which
+// is how the generated test cases exercise both sides of the parity check.
+type BatchTransformer interface {
+	TransformLists(as, bs []Op) (asOut, bsOut []Op, err error)
+}
+
+// Network is a synchronized Realm deployment: one server and a set of
+// clients. The zero value is not usable; construct with NewNetwork.
+type Network struct {
+	tr          BatchTransformer
+	serverLog   []Op
+	serverState []int
+	clientLog   [][]Op
+	clientState [][]int
+	progress    []Progress
+}
+
+// NewNetwork creates a deployment with the given initial array replicated
+// to the server and all numClients clients.
+func NewNetwork(tr BatchTransformer, initial []int, numClients int) *Network {
+	n := &Network{
+		tr:          tr,
+		serverState: append([]int(nil), initial...),
+		clientLog:   make([][]Op, numClients),
+		clientState: make([][]int, numClients),
+		progress:    make([]Progress, numClients),
+	}
+	for c := range n.clientState {
+		n.clientState[c] = append([]int(nil), initial...)
+	}
+	return n
+}
+
+// NumClients returns the number of clients in the deployment.
+func (n *Network) NumClients() int { return len(n.clientState) }
+
+// Clone returns an independent deep copy of the deployment, sharing only
+// the transformer. Model-checking explores deployments as immutable
+// values; actions clone before mutating.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		tr:          n.tr,
+		serverLog:   append([]Op(nil), n.serverLog...),
+		serverState: append([]int(nil), n.serverState...),
+		clientLog:   make([][]Op, len(n.clientLog)),
+		clientState: make([][]int, len(n.clientState)),
+		progress:    append([]Progress(nil), n.progress...),
+	}
+	for i := range n.clientLog {
+		c.clientLog[i] = append([]Op(nil), n.clientLog[i]...)
+		c.clientState[i] = append([]int(nil), n.clientState[i]...)
+	}
+	return c
+}
+
+// ClientProgress returns client c's merge progress record.
+func (n *Network) ClientProgress(c int) Progress { return n.progress[c] }
+
+// ClientState returns a copy of client c's current array.
+func (n *Network) ClientState(c int) []int {
+	return append([]int(nil), n.clientState[c]...)
+}
+
+// ServerState returns a copy of the server's current array.
+func (n *Network) ServerState() []int {
+	return append([]int(nil), n.serverState...)
+}
+
+// ClientHistory returns a copy of client c's operation history.
+func (n *Network) ClientHistory(c int) []Op {
+	return append([]Op(nil), n.clientLog[c]...)
+}
+
+// ServerHistory returns a copy of the server's operation history.
+func (n *Network) ServerHistory() []Op {
+	return append([]Op(nil), n.serverLog...)
+}
+
+// Perform executes op locally on client c: it is applied to the client
+// state and appended to the client history, without contacting the server.
+func (n *Network) Perform(c int, op Op) error {
+	next, err := Apply(n.clientState[c], op)
+	if err != nil {
+		return fmt.Errorf("ot: client %d cannot perform %s: %w", c, op, err)
+	}
+	n.clientState[c] = next
+	n.clientLog[c] = append(n.clientLog[c], op)
+	return nil
+}
+
+// Unmerged returns the tails of the server history and client c's history
+// since they last merged — the Unmerged(c) operator of Figure 6.
+func (n *Network) Unmerged(c int) (serverTail, clientTail []Op) {
+	p := n.progress[c]
+	return append([]Op(nil), n.serverLog[p.ServerVersion:]...),
+		append([]Op(nil), n.clientLog[c][p.ClientVersion:]...)
+}
+
+// Merge performs the MergeAction of the specification for client c: it
+// simultaneously uploads the client's unmerged changes to the server and
+// downloads the server's unmerged changes to the client, transforming both
+// sets through each other.
+//
+// As in the real system, each peer runs the merge rules independently: the
+// server transforms the incoming client operations against its own
+// history, and the client transforms the incoming server operations
+// against its pending local operations. The two computations must agree —
+// that is precisely the convergence property the merge rules guarantee —
+// and running the rules on both peers is what lets every branch outcome of
+// a conflict rule be exercised (each peer sees the conflicting pair from
+// its own side). Afterwards client c and the server agree.
+func (n *Network) Merge(c int) error {
+	serverTail, clientTail := n.Unmerged(c)
+	// Server side: rebase the upload across the server history tail.
+	clientT, _, err := n.tr.TransformLists(clientTail, serverTail)
+	if err != nil {
+		return fmt.Errorf("ot: merge (upload) for client %d: %w", c, err)
+	}
+	// Client side: rebase the download across the pending local ops.
+	serverT, _, err := n.tr.TransformLists(serverTail, clientTail)
+	if err != nil {
+		return fmt.Errorf("ot: merge (download) for client %d: %w", c, err)
+	}
+	// Upload: the client's changes, rebased onto the server history.
+	for _, op := range clientT {
+		next, aerr := Apply(n.serverState, op)
+		if aerr != nil {
+			return fmt.Errorf("ot: server apply during merge of client %d: %w", c, aerr)
+		}
+		n.serverState = next
+		n.serverLog = append(n.serverLog, op)
+	}
+	// Download: the server's changes, rebased onto the client history.
+	for _, op := range serverT {
+		next, aerr := Apply(n.clientState[c], op)
+		if aerr != nil {
+			return fmt.Errorf("ot: client %d apply during merge: %w", c, aerr)
+		}
+		n.clientState[c] = next
+		n.clientLog[c] = append(n.clientLog[c], op)
+	}
+	n.progress[c] = Progress{ServerVersion: len(n.serverLog), ClientVersion: len(n.clientLog[c])}
+	return nil
+}
+
+// SyncAll merges every client repeatedly until no client has unmerged
+// changes — the fixture.sync_all_clients() of the generated C++ test cases
+// (Figure 9). Clients merge in ascending ID order, as the specification
+// constrains. Returns the number of merge rounds performed.
+func (n *Network) SyncAll() (int, error) {
+	rounds := 0
+	for {
+		dirty := false
+		for c := range n.clientState {
+			st, ct := n.Unmerged(c)
+			if len(st) == 0 && len(ct) == 0 {
+				continue
+			}
+			dirty = true
+			if err := n.Merge(c); err != nil {
+				return rounds, err
+			}
+		}
+		if !dirty {
+			return rounds, nil
+		}
+		rounds++
+		if rounds > 10*len(n.clientState)+10 {
+			return rounds, fmt.Errorf("ot: SyncAll did not quiesce after %d rounds", rounds)
+		}
+	}
+}
+
+// Converged reports whether all clients and the server hold identical
+// arrays — the consistency disjunct of HaveUnmergedChangesOrAreConsistent.
+func (n *Network) Converged() bool {
+	for _, cs := range n.clientState {
+		if len(cs) != len(n.serverState) {
+			return false
+		}
+		for i := range cs {
+			if cs[i] != n.serverState[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HaveUnmergedChangesOrAreConsistent is the invariant of Figure 6: either
+// some client has unmerged changes (in either direction), or every client
+// state is identical.
+func (n *Network) HaveUnmergedChangesOrAreConsistent() bool {
+	for c := range n.clientState {
+		st, ct := n.Unmerged(c)
+		if len(st) > 0 || len(ct) > 0 {
+			return true
+		}
+	}
+	for c := 1; c < len(n.clientState); c++ {
+		a, b := n.clientState[0], n.clientState[c]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package ot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNetworkBasicSync(t *testing.T) {
+	tr := NewTransformer(nil, false)
+	n := NewNetwork(tr, []int{1, 2, 3}, 2)
+	// Figure 9's generated test case: client 0 sets index 2 to 4, client 1
+	// removes index 1; after sync the array is {1, 4} — the ArraySet's
+	// index shifted left past the concurrent erase.
+	if err := n.Perform(0, Set(2, 4).WithMeta(Meta{Peer: 0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Perform(1, Erase(1).WithMeta(Meta{Peer: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Converged() {
+		t.Fatalf("not converged: clients %v/%v server %v", n.ClientState(0), n.ClientState(1), n.ServerState())
+	}
+	want := []int{1, 4}
+	if !eq(n.ClientState(0), want) {
+		t.Fatalf("converged to %v, want %v", n.ClientState(0), want)
+	}
+}
+
+func TestNetworkThreeClientsConverge(t *testing.T) {
+	tr := NewTransformer(nil, false)
+	n := NewNetwork(tr, []int{1, 2, 3}, 3)
+	ops := []Op{
+		Insert(0, 100).WithMeta(Meta{Peer: 0}),
+		Move(0, 2).WithMeta(Meta{Peer: 1}),
+		Erase(2).WithMeta(Meta{Peer: 2}),
+	}
+	for c, op := range ops {
+		if err := n.Perform(c, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Converged() {
+		t.Fatalf("not converged: %v %v %v server %v",
+			n.ClientState(0), n.ClientState(1), n.ClientState(2), n.ServerState())
+	}
+	if !n.HaveUnmergedChangesOrAreConsistent() {
+		t.Fatal("invariant violated after quiescence")
+	}
+}
+
+func TestNetworkOfflineBatches(t *testing.T) {
+	// A client performs several ops offline, another merges in between:
+	// exercises multi-op merge windows.
+	tr := NewTransformer(nil, false)
+	n := NewNetwork(tr, []int{1, 2, 3, 4}, 2)
+	for _, op := range []Op{Set(0, 9).WithMeta(Meta{Peer: 0}), Erase(3).WithMeta(Meta{Peer: 0}), Insert(1, 7).WithMeta(Meta{Peer: 0})} {
+		if err := n.Perform(0, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Merge(1); err != nil { // client 1 syncs first (no-op both ways)
+		t.Fatal(err)
+	}
+	for _, op := range []Op{Move(2, 0).WithMeta(Meta{Peer: 1}), Set(1, 5).WithMeta(Meta{Peer: 1})} {
+		if err := n.Perform(1, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Converged() {
+		t.Fatalf("not converged: %v vs %v (server %v)", n.ClientState(0), n.ClientState(1), n.ServerState())
+	}
+}
+
+func TestUnmergedAndProgress(t *testing.T) {
+	tr := NewTransformer(nil, false)
+	n := NewNetwork(tr, []int{1}, 2)
+	if err := n.Perform(0, Set(0, 5).WithMeta(Meta{Peer: 0})); err != nil {
+		t.Fatal(err)
+	}
+	st, ct := n.Unmerged(0)
+	if len(st) != 0 || len(ct) != 1 {
+		t.Fatalf("unmerged = %v / %v", st, ct)
+	}
+	if err := n.Merge(0); err != nil {
+		t.Fatal(err)
+	}
+	st, ct = n.Unmerged(0)
+	if len(st) != 0 || len(ct) != 0 {
+		t.Fatalf("after merge: unmerged = %v / %v", st, ct)
+	}
+	// Client 1 now has the server's op pending.
+	st, _ = n.Unmerged(1)
+	if len(st) != 1 {
+		t.Fatalf("client 1 server tail = %v", st)
+	}
+}
+
+func TestPerformInvalidOp(t *testing.T) {
+	tr := NewTransformer(nil, false)
+	n := NewNetwork(tr, []int{1}, 1)
+	if err := n.Perform(0, Erase(5)); err == nil {
+		t.Fatal("expected error for out-of-range op")
+	} else if !strings.Contains(err.Error(), "client 0") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestQuickRandomWorkloadsConverge is the property-based convergence check:
+// any combination of single ops by up to 4 clients on arrays up to length 5
+// converges after SyncAll. This is the fuzz-transform test of §5.2 at the
+// property level.
+func TestQuickRandomWorkloadsConverge(t *testing.T) {
+	tr := NewTransformer(nil, false)
+	f := func(seedArr []uint8, picks []uint16) bool {
+		arrLen := len(seedArr) % 6
+		arr := make([]int, arrLen)
+		for i := range arr {
+			arr[i] = int(seedArr[i]) % 10
+		}
+		numClients := len(picks)%4 + 1
+		n := NewNetwork(tr, arr, numClients)
+		for c := 0; c < numClients && c < len(picks); c++ {
+			ops := enumOps(arrLen, c, false)
+			op := ops[int(picks[c])%len(ops)]
+			if err := n.Perform(c, op); err != nil {
+				return false
+			}
+		}
+		if _, err := n.SyncAll(); err != nil {
+			return false
+		}
+		return n.Converged() && n.HaveUnmergedChangesOrAreConsistent()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTransformOrientationConsistent: the server-side and client-side
+// merge computations must agree — TransformLists(as, bs) and
+// TransformLists(bs, as) are mirrored results. Network.Merge relies on
+// this when each peer transforms independently.
+func TestQuickTransformOrientationConsistent(t *testing.T) {
+	tr := NewTransformer(nil, false)
+	f := func(pa, pb uint16, n8 uint8) bool {
+		n := int(n8)%4 + 1
+		arr := baseArray(n)
+		_ = arr
+		opsA := enumOps(n, 1, false)
+		opsB := enumOps(n, 2, false)
+		a := opsA[int(pa)%len(opsA)]
+		b := opsB[int(pb)%len(opsB)]
+		a1, b1, err := tr.TransformLists([]Op{a}, []Op{b})
+		if err != nil {
+			return false
+		}
+		b2, a2, err := tr.TransformLists([]Op{b}, []Op{a})
+		if err != nil {
+			return false
+		}
+		return opsListEqual(a1, a2) && opsListEqual(b1, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func opsListEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCatalogueArithmetic(t *testing.T) {
+	if got := MergeRuleCount(NumInstrTypes); got != 190 {
+		t.Errorf("MergeRuleCount(19) = %d, want 190", got)
+	}
+	if got := SymmetricRuleCount(NumInstrTypes); got != 171 {
+		t.Errorf("SymmetricRuleCount(19) = %d, want 171", got)
+	}
+	if got := len(AllRulePairs()); got != 190 {
+		t.Errorf("len(AllRulePairs) = %d, want 190", got)
+	}
+	if got := len(ArrayRulePairs()); got != 21 {
+		t.Errorf("array rule pairs = %d, want 21", got)
+	}
+	if got := MergeRuleCount(6); got != 21 {
+		t.Errorf("MergeRuleCount(6) = %d, want 21", got)
+	}
+}
+
+// TestCatalogueTrivialFraction reproduces E11's qualitative claim:
+// approximately three-quarters of the 190 merge rules are trivial.
+func TestCatalogueTrivialFraction(t *testing.T) {
+	trivial := 0
+	for _, p := range AllRulePairs() {
+		if p.Trivial() {
+			trivial++
+		}
+	}
+	frac := float64(trivial) / 190
+	t.Logf("trivial rules: %d/190 (%.0f%%)", trivial, 100*frac)
+	if frac < 0.65 || frac > 0.85 {
+		t.Errorf("trivial fraction %.2f outside 'approximately three-quarters'", frac)
+	}
+	// All array pairs must be non-trivial.
+	for _, p := range ArrayRulePairs() {
+		if p.Trivial() {
+			t.Errorf("array pair %v/%v classified trivial", p.A, p.B)
+		}
+	}
+}
+
+func TestInstrTypeStrings(t *testing.T) {
+	if InstrArraySet.String() != "ArraySet" || InstrAddTable.String() != "AddTable" {
+		t.Error("instruction names broken")
+	}
+	if InstrType(200).String() != "Unknown" {
+		t.Error("unknown instruction name")
+	}
+	if InstrSetProperty.IsArray() || !InstrArrayClear.IsArray() {
+		t.Error("IsArray broken")
+	}
+}

@@ -1,0 +1,548 @@
+package ot
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coverage"
+)
+
+// ErrMergeNontermination is the stand-in for the StackOverflowError of
+// §5.1.3: the legacy ArraySwap/ArrayMove merge rule can fail to terminate.
+// The reference implementation detects the runaway loop and reports it
+// rather than overflowing the stack.
+var ErrMergeNontermination = errors.New("ot: merge rule does not terminate (legacy ArraySwap/ArrayMove bug)")
+
+// ErrSwapDeprecated is returned by non-legacy transformers asked to merge an
+// ArraySwap: after the model checker exposed the non-termination bug, the
+// ArraySwap operation was deprecated and excluded from testing (§5.1.3).
+var ErrSwapDeprecated = errors.New("ot: ArraySwap is deprecated and unsupported outside legacy mode")
+
+// Transformer implements the 21 array merge rules. A Transformer with a
+// coverage registry records every condition outcome in the swap-free merge
+// rules (the denominator of the paper's 86-branch coverage table). Legacy
+// enables the historical ArraySwap behaviour, including the
+// non-terminating ArraySwap/ArrayMove case.
+type Transformer struct {
+	cov    *coverage.Registry
+	legacy bool
+}
+
+// NewTransformer returns a Transformer. cov may be nil (no coverage
+// accounting); if non-nil, all swap-free merge-rule conditions are
+// registered against it immediately, fixing the coverage denominator.
+func NewTransformer(cov *coverage.Registry, legacy bool) *Transformer {
+	if cov != nil {
+		for _, name := range BranchConditions() {
+			cov.RegisterCond(name)
+		}
+	}
+	return &Transformer{cov: cov, legacy: legacy}
+}
+
+// cond records the outcome of a named condition if coverage is enabled.
+func (t *Transformer) cond(name string, outcome bool) bool {
+	if t.cov != nil {
+		return t.cov.Cond(name, outcome)
+	}
+	return outcome
+}
+
+// TransformPair merges two concurrent operations a and b performed on the
+// same base array: it returns aOut — a rewritten to apply after b — and
+// bOut — b rewritten to apply after a, such that both application orders
+// produce identical arrays (convergence, the transformation property TP1).
+// Either output may be empty (the operation was discarded by conflict
+// resolution) — never longer than one operation in this rule set.
+func (t *Transformer) TransformPair(a, b Op) (aOut, bOut []Op, err error) {
+	if a.Kind == KindSwap || b.Kind == KindSwap {
+		if !t.legacy {
+			return nil, nil, ErrSwapDeprecated
+		}
+	}
+	if a.Kind <= b.Kind {
+		return t.merge(a, b)
+	}
+	bOut, aOut, err = t.merge(b, a)
+	return aOut, bOut, err
+}
+
+// merge dispatches with a.Kind <= b.Kind (the canonical order, as in the
+// C++ DEFINE_MERGE macros: 21 rules, the symmetric 15 inferred by the
+// flip in TransformPair).
+func (t *Transformer) merge(a, b Op) ([]Op, []Op, error) {
+	switch {
+	case a.Kind == KindSet && b.Kind == KindSet:
+		x, y := t.mergeSetSet(a, b)
+		return x, y, nil
+	case a.Kind == KindSet && b.Kind == KindInsert:
+		x, y := t.mergeSetInsert(a, b)
+		return x, y, nil
+	case a.Kind == KindSet && b.Kind == KindMove:
+		x, y := t.mergeSetMove(a, b)
+		return x, y, nil
+	case a.Kind == KindSet && b.Kind == KindSwap:
+		x, y := t.mergeSetSwap(a, b)
+		return x, y, nil
+	case a.Kind == KindSet && b.Kind == KindErase:
+		x, y := t.mergeSetErase(a, b)
+		return x, y, nil
+	case a.Kind == KindSet && b.Kind == KindClear:
+		return nil, []Op{b}, nil // SetClear: update of a removed element: discard the set
+	case a.Kind == KindInsert && b.Kind == KindInsert:
+		x, y := t.mergeInsertInsert(a, b)
+		return x, y, nil
+	case a.Kind == KindInsert && b.Kind == KindMove:
+		x, y := t.mergeInsertMove(a, b)
+		return x, y, nil
+	case a.Kind == KindInsert && b.Kind == KindSwap:
+		x, y := t.mergeInsertSwap(a, b)
+		return x, y, nil
+	case a.Kind == KindInsert && b.Kind == KindErase:
+		x, y := t.mergeInsertErase(a, b)
+		return x, y, nil
+	case a.Kind == KindInsert && b.Kind == KindClear:
+		return nil, []Op{b}, nil // InsertClear: the clear dominates
+	case a.Kind == KindMove && b.Kind == KindMove:
+		x, y := t.mergeMoveMove(a, b)
+		return x, y, nil
+	case a.Kind == KindMove && b.Kind == KindSwap:
+		return t.mergeMoveSwapLegacy(a, b)
+	case a.Kind == KindMove && b.Kind == KindErase:
+		x, y := t.mergeMoveErase(a, b)
+		return x, y, nil
+	case a.Kind == KindMove && b.Kind == KindClear:
+		return nil, []Op{b}, nil // MoveClear: nothing left to move
+	case a.Kind == KindSwap && b.Kind == KindSwap:
+		x, y := t.mergeSwapSwap(a, b)
+		return x, y, nil
+	case a.Kind == KindSwap && b.Kind == KindErase:
+		x, y := t.mergeSwapErase(a, b)
+		return x, y, nil
+	case a.Kind == KindSwap && b.Kind == KindClear:
+		return nil, []Op{b}, nil // SwapClear
+	case a.Kind == KindErase && b.Kind == KindErase:
+		x, y := t.mergeEraseErase(a, b)
+		return x, y, nil
+	case a.Kind == KindErase && b.Kind == KindClear:
+		return nil, []Op{b}, nil // EraseClear: already gone
+	case a.Kind == KindClear && b.Kind == KindClear:
+		return nil, nil, nil // ClearClear: both arrays already empty
+	}
+	return nil, nil, fmt.Errorf("ot: no merge rule for %s/%s", a.Kind, b.Kind)
+}
+
+// TransformLists merges two concurrent operation sequences: as' applies
+// after bs, bs' applies after as, and both orders converge. This is the
+// standard inductive lifting of TransformPair to sequences; it is how a
+// peer rebases an incoming batch across its unmerged local history.
+func (t *Transformer) TransformLists(as, bs []Op) (asOut, bsOut []Op, err error) {
+	if len(as) == 0 {
+		return nil, bs, nil
+	}
+	if len(bs) == 0 {
+		return as, nil, nil
+	}
+	aHead, aRest := as[0], as[1:]
+	// Transform the single op aHead across the whole of bs.
+	aHeadT, bsT, err := t.transformOpAcross(aHead, bs)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The remaining local ops see bs as rewritten by aHead.
+	aRestT, bsOut, err := t.TransformLists(aRest, bsT)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append(aHeadT, aRestT...), bsOut, nil
+}
+
+// transformOpAcross merges one op against a sequence.
+func (t *Transformer) transformOpAcross(a Op, bs []Op) (aOut, bsOut []Op, err error) {
+	if len(bs) == 0 {
+		return []Op{a}, nil, nil
+	}
+	bHead, bRest := bs[0], bs[1:]
+	aT, bHeadT, err := t.TransformPair(a, bHead)
+	if err != nil {
+		return nil, nil, err
+	}
+	// aT (a list) continues across the rest of bs.
+	aOut, bRestT, err := t.TransformLists(aT, bRest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aOut, append(bHeadT, bRestT...), nil
+}
+
+// ---- the merge rules -------------------------------------------------
+
+// mergeSetSet: two updates of elements. Same element: conflict, resolved by
+// last-write-wins over (timestamp, peer); the loser is discarded.
+func (t *Transformer) mergeSetSet(a, b Op) ([]Op, []Op) {
+	if t.cond("SetSet.sameNdx", a.Ndx == b.Ndx) {
+		if t.cond("SetSet.aWins", a.Meta.Wins(b.Meta)) {
+			return []Op{a}, nil
+		}
+		return nil, []Op{b}
+	}
+	return []Op{a}, []Op{b}
+}
+
+// mergeSetInsert: an insert at or before the set target shifts it right.
+func (t *Transformer) mergeSetInsert(s, i Op) ([]Op, []Op) {
+	if t.cond("SetInsert.shifts", i.Ndx <= s.Ndx) {
+		s.Ndx++
+	}
+	return []Op{s}, []Op{i}
+}
+
+// mergeSetMove: the set follows its element through the move.
+func (t *Transformer) mergeSetMove(s, m Op) ([]Op, []Op) {
+	if t.cond("SetMove.setOnMoved", s.Ndx == m.Ndx) {
+		s.Ndx = m.To
+		return []Op{s}, []Op{m}
+	}
+	q := s.Ndx
+	if t.cond("SetMove.afterFrom", q > m.Ndx) {
+		q--
+	}
+	if t.cond("SetMove.atOrAfterTo", q >= m.To) {
+		q++
+	}
+	s.Ndx = q
+	return []Op{s}, []Op{m}
+}
+
+// mergeSetSwap: the set follows its element through the swap. (Swap rules
+// are legacy-only and excluded from the coverage denominator, as in the
+// paper's LCOV exclusions.)
+func (t *Transformer) mergeSetSwap(s, w Op) ([]Op, []Op) {
+	switch s.Ndx {
+	case w.Ndx:
+		s.Ndx = w.To
+	case w.To:
+		s.Ndx = w.Ndx
+	}
+	return []Op{s}, []Op{w}
+}
+
+// mergeSetErase: Figure 7/8 of the paper, verbatim. Update of a removed
+// element: discard the ArraySet.
+func (t *Transformer) mergeSetErase(s, e Op) ([]Op, []Op) {
+	if t.cond("SetErase.sameNdx", s.Ndx == e.Ndx) {
+		// CONFLICT: update of a removed element.
+		// RESOLUTION: discard the ArraySet operation.
+		return nil, []Op{e}
+	}
+	if t.cond("SetErase.afterErase", s.Ndx > e.Ndx) {
+		s.Ndx--
+	}
+	return []Op{s}, []Op{e}
+}
+
+// mergeInsertInsert: inserts at distinct points shift each other; inserts
+// at the same point are ordered by last-write-wins (the winner's element
+// ends up first).
+func (t *Transformer) mergeInsertInsert(a, b Op) ([]Op, []Op) {
+	if t.cond("InsIns.aBefore", a.Ndx < b.Ndx) {
+		b.Ndx++
+		return []Op{a}, []Op{b}
+	}
+	if t.cond("InsIns.bBefore", a.Ndx > b.Ndx) {
+		a.Ndx++
+		return []Op{a}, []Op{b}
+	}
+	if t.cond("InsIns.aWins", a.Meta.Wins(b.Meta)) {
+		b.Ndx++
+		return []Op{a}, []Op{b}
+	}
+	a.Ndx++
+	return []Op{a}, []Op{b}
+}
+
+// mergeInsertMove: the insertion point denotes the gap after the elements
+// originally at 0..Ndx-1; its new index is the number of elements that end
+// up before that gap once the move is applied. The move's source shifts
+// past the insert as an element position, and its destination shifts past
+// the mapped gap.
+func (t *Transformer) mergeInsertMove(i, m Op) ([]Op, []Op) {
+	// k: non-moved elements originally before the gap.
+	k := i.Ndx
+	if t.cond("InsMove.fromBeforeGap", m.Ndx < i.Ndx) {
+		k--
+	}
+	g := k
+	if t.cond("InsMove.movedLandsBefore", m.To < k) {
+		g++
+	}
+	mf, mt := m.Ndx, m.To
+	if t.cond("InsMove.fromShift", mf >= i.Ndx) {
+		mf++
+	}
+	if t.cond("InsMove.toShift", mt >= g) {
+		mt++
+	}
+	i.Ndx = g
+	m.Ndx, m.To = mf, mt
+	return []Op{i}, []Op{m}
+}
+
+// mergeInsertSwap: a swap does not shift positions, so the insertion point
+// is unchanged; the swap's indices shift past the insert.
+func (t *Transformer) mergeInsertSwap(i, w Op) ([]Op, []Op) {
+	if w.Ndx >= i.Ndx {
+		w.Ndx++
+	}
+	if w.To >= i.Ndx {
+		w.To++
+	}
+	return []Op{i}, []Op{w}
+}
+
+// mergeInsertErase: an erase before the insertion point shifts it left; an
+// erase at or after it is shifted right by the insert.
+func (t *Transformer) mergeInsertErase(i, e Op) ([]Op, []Op) {
+	if t.cond("InsErase.beforeIns", e.Ndx < i.Ndx) {
+		i.Ndx--
+		return []Op{i}, []Op{e}
+	}
+	e.Ndx++
+	return []Op{i}, []Op{e}
+}
+
+// mergeMoveMove: the hardest rule. Moves of the same element conflict and
+// are resolved by last-write-wins (the loser is discarded, and the winner
+// re-targets the element where the loser put it). Moves of different
+// elements are merged componentwise as remove+reinsert pairs: each move's
+// source index maps across the other's removal, and each destination maps
+// across the other's removal and reinsertion — with a last-write-wins
+// ordering when both elements land on the same spot.
+func (t *Transformer) mergeMoveMove(a, b Op) ([]Op, []Op) {
+	if t.cond("MoveMove.sameFrom", a.Ndx == b.Ndx) {
+		if t.cond("MoveMove.aWins", a.Meta.Wins(b.Meta)) {
+			a.Ndx = b.To
+			return dropNoopMove(t, "MoveMove.winnerNoopA", a), nil
+		}
+		b.Ndx = a.To
+		return nil, dropNoopMove(t, "MoveMove.winnerNoopB", b)
+	}
+	// Sources map across the other element's removal.
+	ea, eb := a.Ndx, b.Ndx
+	if t.cond("MoveMove.bRemovalBeforeA", b.Ndx < a.Ndx) {
+		ea--
+	}
+	if t.cond("MoveMove.aRemovalBeforeB", a.Ndx < b.Ndx) {
+		eb--
+	}
+	// a's removal point meets b's reinsertion (and vice versa): an erase at
+	// or past an insertion point is shifted by it; an erase before it
+	// shifts the insertion point.
+	ia, ib := a.To, b.To
+	if t.cond("MoveMove.aRemovalBeforeBTo", ea < ib) {
+		ib--
+	} else {
+		ea++
+	}
+	if t.cond("MoveMove.bRemovalBeforeATo", eb < ia) {
+		ia--
+	} else {
+		eb++
+	}
+	// The two reinsertions order themselves like concurrent inserts.
+	if t.cond("MoveMove.aToBefore", ia < ib) {
+		ib++
+	} else if t.cond("MoveMove.bToBefore", ia > ib) {
+		ia++
+	} else if t.cond("MoveMove.aToWins", a.Meta.Wins(b.Meta)) {
+		ib++
+	} else {
+		ia++
+	}
+	a.Ndx, a.To = ea, ia
+	b.Ndx, b.To = eb, ib
+	return dropNoopMove(t, "MoveMove.noopA", a), dropNoopMove(t, "MoveMove.noopB", b)
+}
+
+// mergeMoveErase: erasing the moved element follows it to its destination
+// and cancels the move; otherwise the move is merged as a remove+reinsert
+// pair against the erase.
+func (t *Transformer) mergeMoveErase(m, e Op) ([]Op, []Op) {
+	if t.cond("MoveErase.erasedMoved", e.Ndx == m.Ndx) {
+		// CONFLICT: the erased element was concurrently moved.
+		// RESOLUTION: erase it at its destination; the move is moot.
+		e.Ndx = m.To
+		return nil, []Op{e}
+	}
+	// Removal points shift across each other.
+	em, ee := m.Ndx, e.Ndx
+	if t.cond("MoveErase.eraseBeforeFrom", e.Ndx < m.Ndx) {
+		em--
+	}
+	if t.cond("MoveErase.fromBeforeErase", m.Ndx < e.Ndx) {
+		ee--
+	}
+	// The surviving erase meets the move's reinsertion point.
+	im := m.To
+	if t.cond("MoveErase.eraseBeforeTo", ee < im) {
+		im--
+	} else {
+		ee++
+	}
+	m.Ndx, m.To = em, im
+	e.Ndx = ee
+	return dropNoopMove(t, "MoveErase.noopMove", m), []Op{e}
+}
+
+// mergeEraseErase: erasing the same element twice needs no further action
+// on either side.
+func (t *Transformer) mergeEraseErase(a, b Op) ([]Op, []Op) {
+	if t.cond("EraseErase.sameNdx", a.Ndx == b.Ndx) {
+		return nil, nil
+	}
+	if t.cond("EraseErase.aAfter", a.Ndx > b.Ndx) {
+		a.Ndx--
+		return []Op{a}, []Op{b}
+	}
+	b.Ndx--
+	return []Op{a}, []Op{b}
+}
+
+// ---- swap rules (legacy only, outside the coverage denominator) -------
+
+// mergeSwapSwap: identical swaps cancel; otherwise last-write-wins with the
+// winner's positions mapped through the loser. This rule is best-effort —
+// the impossibility of doing this well is part of why ArraySwap was
+// deprecated.
+func (t *Transformer) mergeSwapSwap(a, b Op) ([]Op, []Op) {
+	if (a.Ndx == b.Ndx && a.To == b.To) || (a.Ndx == b.To && a.To == b.Ndx) {
+		return nil, nil
+	}
+	if a.Meta.Wins(b.Meta) {
+		a.Ndx = mapPosSwap(a.Ndx, b)
+		a.To = mapPosSwap(a.To, b)
+		return []Op{a}, nil
+	}
+	b.Ndx = mapPosSwap(b.Ndx, a)
+	b.To = mapPosSwap(b.To, a)
+	return nil, []Op{b}
+}
+
+// mergeSwapErase: erasing one operand of the swap turns the survivor's
+// repositioning into a move; erasing neither maps the indices.
+func (t *Transformer) mergeSwapErase(w, e Op) ([]Op, []Op) {
+	if e.Ndx == w.Ndx || e.Ndx == w.To {
+		other := w.To
+		if e.Ndx == w.To {
+			other = w.Ndx
+		}
+		// After the erase, move the surviving operand into the erased
+		// element's former slot.
+		from := other
+		to := e.Ndx
+		if other > e.Ndx {
+			from--
+		} else {
+			to--
+		}
+		e.Ndx = mapPosSwap(e.Ndx, w)
+		if from == to {
+			return nil, []Op{e}
+		}
+		return []Op{Move(from, to).WithMeta(w.Meta)}, []Op{e}
+	}
+	ePos := mapPosSwap(e.Ndx, w)
+	wn, wt := w.Ndx, w.To
+	if wn > e.Ndx {
+		wn--
+	}
+	if wt > e.Ndx {
+		wt--
+	}
+	w.Ndx, w.To = wn, wt
+	e.Ndx = ePos
+	return []Op{w}, []Op{e}
+}
+
+// mergeMoveSwapLegacy reproduces §5.1.3: the historical merge rule for
+// ArrayMove/ArraySwap normalized the pair by iterating an index-rewriting
+// loop until it reached a fixpoint — and for moves that invert a swap
+// (the move's endpoints are exactly the swap's operands, reversed), each
+// iteration undoes the previous one and the loop never terminates. TLC
+// found this as a StackOverflowError; the reference implementation bounds
+// the loop and reports ErrMergeNontermination.
+func (t *Transformer) mergeMoveSwapLegacy(m, w Op) ([]Op, []Op, error) {
+	const maxIterations = 1000
+	for iter := 0; ; iter++ {
+		if iter >= maxIterations {
+			return nil, nil, ErrMergeNontermination
+		}
+		switch {
+		case m.Ndx == w.Ndx && m.To == w.To:
+			// The move mirrors one leg of the swap: "canonicalize" by
+			// flipping the swap. The flipped swap again has the move
+			// mirroring a leg, so this rewrites forever. This is the
+			// faithfully-transcribed bug.
+			w.Ndx, w.To = w.To, w.Ndx
+			continue
+		case m.Ndx == w.To && m.To == w.Ndx:
+			// Same bug, other orientation.
+			w.Ndx, w.To = w.To, w.Ndx
+			continue
+		case m.Ndx == w.Ndx:
+			m.Ndx = w.To
+			return []Op{m}, []Op{w}, nil
+		case m.Ndx == w.To:
+			m.Ndx = w.Ndx
+			return []Op{m}, []Op{w}, nil
+		default:
+			return []Op{m}, []Op{w}, nil
+		}
+	}
+}
+
+// ---- index-mapping helpers --------------------------------------------
+
+func mapPosSwap(p int, w Op) int {
+	switch p {
+	case w.Ndx:
+		return w.To
+	case w.To:
+		return w.Ndx
+	}
+	return p
+}
+
+// dropNoopMove discards a move whose endpoints collapsed during
+// transformation.
+func dropNoopMove(t *Transformer, name string, m Op) []Op {
+	if t.cond(name, m.Ndx == m.To) {
+		return nil
+	}
+	return []Op{m}
+}
+
+// BranchConditions returns the names of every condition in the swap-free
+// merge rules, in a stable order. Each condition contributes two branch
+// outcomes to the coverage denominator.
+func BranchConditions() []string {
+	return []string{
+		"SetSet.sameNdx", "SetSet.aWins",
+		"SetInsert.shifts",
+		"SetMove.setOnMoved", "SetMove.afterFrom", "SetMove.atOrAfterTo",
+		"SetErase.sameNdx", "SetErase.afterErase",
+		"InsIns.aBefore", "InsIns.bBefore", "InsIns.aWins",
+		"InsMove.fromBeforeGap", "InsMove.movedLandsBefore", "InsMove.fromShift", "InsMove.toShift",
+		"InsErase.beforeIns",
+		"MoveMove.sameFrom", "MoveMove.aWins",
+		"MoveMove.winnerNoopA", "MoveMove.winnerNoopB",
+		"MoveMove.bRemovalBeforeA", "MoveMove.aRemovalBeforeB",
+		"MoveMove.aRemovalBeforeBTo", "MoveMove.bRemovalBeforeATo",
+		"MoveMove.aToBefore", "MoveMove.bToBefore", "MoveMove.aToWins",
+		"MoveMove.noopA", "MoveMove.noopB",
+		"MoveErase.erasedMoved",
+		"MoveErase.eraseBeforeFrom", "MoveErase.fromBeforeErase",
+		"MoveErase.eraseBeforeTo", "MoveErase.noopMove",
+		"EraseErase.sameNdx", "EraseErase.aAfter",
+	}
+}

@@ -1,0 +1,314 @@
+// Package otgo is the second, independent implementation of the Realm Sync
+// array merge rules — the stand-in for the Golang server re-implementation
+// of §5. The paper's architectural story: the server was rewritten in Go
+// while the clients stayed C++, so the merge rules exist twice and must
+// agree exactly; MBTCG's generated test cases are what establish that
+// parity.
+//
+// This implementation is written from the specification rather than
+// transcribed from the reference implementation: it is table-driven, uses
+// its own index-mapping vocabulary, and deliberately shares no code with
+// package ot. ArraySwap is not supported at all — the discovery of the
+// swap/move non-termination bug was "the deciding factor to not support a
+// dedicated ArraySwap operation in the new Golang server implementation".
+package otgo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ot"
+)
+
+// ErrUnsupported is returned for operations the Go server never
+// implemented (ArraySwap) or unknown kinds.
+var ErrUnsupported = errors.New("otgo: unsupported operation kind")
+
+// Engine transforms concurrent operations. It is stateless; the zero value
+// is ready to use.
+type Engine struct{}
+
+// mergeFunc merges ops x, y with x.Kind <= y.Kind, returning the rewritten
+// lists (x', y') such that both application orders converge.
+type mergeFunc func(x, y ot.Op) (xs, ys []ot.Op)
+
+// ruleKey packs a canonical kind pair.
+type ruleKey struct{ a, b ot.Kind }
+
+// rules is the dispatch table over the 15 swap-free kind pairs.
+var rules = map[ruleKey]mergeFunc{
+	{ot.KindSet, ot.KindSet}:       ruleSetSet,
+	{ot.KindSet, ot.KindInsert}:    ruleSetInsert,
+	{ot.KindSet, ot.KindMove}:      ruleSetMove,
+	{ot.KindSet, ot.KindErase}:     ruleSetErase,
+	{ot.KindSet, ot.KindClear}:     ruleDiscardFirst,
+	{ot.KindInsert, ot.KindInsert}: ruleInsertInsert,
+	{ot.KindInsert, ot.KindMove}:   ruleInsertMove,
+	{ot.KindInsert, ot.KindErase}:  ruleInsertErase,
+	{ot.KindInsert, ot.KindClear}:  ruleDiscardFirst,
+	{ot.KindMove, ot.KindMove}:     ruleMoveMove,
+	{ot.KindMove, ot.KindErase}:    ruleMoveErase,
+	{ot.KindMove, ot.KindClear}:    ruleDiscardFirst,
+	{ot.KindErase, ot.KindErase}:   ruleEraseErase,
+	{ot.KindErase, ot.KindClear}:   ruleDiscardFirst,
+	{ot.KindClear, ot.KindClear}:   ruleDiscardBoth,
+}
+
+// Transform merges two concurrent operations, returning a' (to apply after
+// b) and b' (to apply after a).
+func (Engine) Transform(a, b ot.Op) (aOut, bOut []ot.Op, err error) {
+	if a.Kind == ot.KindSwap || b.Kind == ot.KindSwap {
+		return nil, nil, fmt.Errorf("%w: ArraySwap", ErrUnsupported)
+	}
+	if a.Kind <= b.Kind {
+		f, ok := rules[ruleKey{a.Kind, b.Kind}]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %s/%s", ErrUnsupported, a.Kind, b.Kind)
+		}
+		aOut, bOut = f(a, b)
+		return aOut, bOut, nil
+	}
+	f, ok := rules[ruleKey{b.Kind, a.Kind}]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s/%s", ErrUnsupported, b.Kind, a.Kind)
+	}
+	bOut, aOut = f(b, a)
+	return aOut, bOut, nil
+}
+
+// TransformBatches merges two concurrent operation sequences, the server's
+// rebase primitive. Implemented iteratively (where the reference uses
+// recursion): each local operation sweeps across the remote batch,
+// rewriting it in place. All rules produce at most one operation per side,
+// which the sweep relies on and enforces.
+func (e Engine) TransformBatches(as, bs []ot.Op) (asOut, bsOut []ot.Op, err error) {
+	bsCur := append([]ot.Op(nil), bs...)
+	for _, a := range as {
+		alive := true
+		var bsNext []ot.Op
+		for _, b := range bsCur {
+			if !alive {
+				bsNext = append(bsNext, b)
+				continue
+			}
+			aT, bT, terr := e.Transform(a, b)
+			if terr != nil {
+				return nil, nil, terr
+			}
+			if len(aT) > 1 || len(bT) > 1 {
+				return nil, nil, fmt.Errorf("otgo: rule expanded %s/%s; batch sweep requires 0/1 outputs", a.Kind, b.Kind)
+			}
+			bsNext = append(bsNext, bT...)
+			if len(aT) == 0 {
+				alive = false
+			} else {
+				a = aT[0]
+			}
+		}
+		if alive {
+			asOut = append(asOut, a)
+		}
+		bsCur = bsNext
+	}
+	return asOut, bsCur, nil
+}
+
+// TransformLists adapts TransformBatches to the ot.BatchTransformer
+// interface, so an ot.Network can be driven by this engine.
+func (e Engine) TransformLists(as, bs []ot.Op) ([]ot.Op, []ot.Op, error) {
+	return e.TransformBatches(as, bs)
+}
+
+// ---- the merge rules, table entries -----------------------------------
+
+func ruleDiscardFirst(x, y ot.Op) ([]ot.Op, []ot.Op) { return nil, []ot.Op{y} }
+
+func ruleDiscardBoth(x, y ot.Op) ([]ot.Op, []ot.Op) { return nil, nil }
+
+func ruleSetSet(a, b ot.Op) ([]ot.Op, []ot.Op) {
+	if a.Ndx != b.Ndx {
+		return one(a), one(b)
+	}
+	if a.Meta.Wins(b.Meta) {
+		return one(a), nil
+	}
+	return nil, one(b)
+}
+
+func ruleSetInsert(s, i ot.Op) ([]ot.Op, []ot.Op) {
+	s.Ndx = posAfterInsert(s.Ndx, i.Ndx)
+	return one(s), one(i)
+}
+
+func ruleSetMove(s, m ot.Op) ([]ot.Op, []ot.Op) {
+	s.Ndx = posAfterMove(s.Ndx, m.Ndx, m.To)
+	return one(s), one(m)
+}
+
+func ruleSetErase(s, e ot.Op) ([]ot.Op, []ot.Op) {
+	p, gone := posAfterErase(s.Ndx, e.Ndx)
+	if gone {
+		return nil, one(e)
+	}
+	s.Ndx = p
+	return one(s), one(e)
+}
+
+func ruleInsertInsert(a, b ot.Op) ([]ot.Op, []ot.Op) {
+	switch {
+	case a.Ndx < b.Ndx, a.Ndx == b.Ndx && a.Meta.Wins(b.Meta):
+		b.Ndx++
+	default:
+		a.Ndx++
+	}
+	return one(a), one(b)
+}
+
+func ruleInsertMove(i, m ot.Op) ([]ot.Op, []ot.Op) {
+	g := gapAfterMove(i.Ndx, m.Ndx, m.To)
+	if m.Ndx >= i.Ndx {
+		m.Ndx++
+	}
+	if m.To >= g {
+		m.To++
+	}
+	i.Ndx = g
+	return one(i), one(m)
+}
+
+func ruleInsertErase(i, e ot.Op) ([]ot.Op, []ot.Op) {
+	if e.Ndx < i.Ndx {
+		i.Ndx--
+	} else {
+		e.Ndx++
+	}
+	return one(i), one(e)
+}
+
+func ruleMoveMove(a, b ot.Op) ([]ot.Op, []ot.Op) {
+	if a.Ndx == b.Ndx {
+		// Same element: last write wins, re-targeted from the loser's
+		// destination.
+		if a.Meta.Wins(b.Meta) {
+			a.Ndx = b.To
+			return moveOrNothing(a), nil
+		}
+		b.Ndx = a.To
+		return nil, moveOrNothing(b)
+	}
+	ra, ia := decompose(a)
+	rb, ib := decompose(b)
+	// Removals across each other.
+	ra2, _ := posAfterErase(ra, rb)
+	rb2, _ := posAfterErase(rb, ra)
+	// Each removal meets the other's reinsertion.
+	if ra2 < ib {
+		ib--
+	} else {
+		ra2++
+	}
+	if rb2 < ia {
+		ia--
+	} else {
+		rb2++
+	}
+	// Reinsertions order like concurrent inserts.
+	switch {
+	case ia < ib, ia == ib && a.Meta.Wins(b.Meta):
+		ib++
+	default:
+		ia++
+	}
+	a.Ndx, a.To = ra2, ia
+	b.Ndx, b.To = rb2, ib
+	return moveOrNothing(a), moveOrNothing(b)
+}
+
+func ruleMoveErase(m, e ot.Op) ([]ot.Op, []ot.Op) {
+	if e.Ndx == m.Ndx {
+		e.Ndx = m.To
+		return nil, one(e)
+	}
+	rm, im := decompose(m)
+	rm2, _ := posAfterErase(rm, e.Ndx)
+	ee, _ := posAfterErase(e.Ndx, rm)
+	if ee < im {
+		im--
+	} else {
+		ee++
+	}
+	m.Ndx, m.To = rm2, im
+	e.Ndx = ee
+	return moveOrNothing(m), one(e)
+}
+
+func ruleEraseErase(a, b ot.Op) ([]ot.Op, []ot.Op) {
+	if a.Ndx == b.Ndx {
+		return nil, nil
+	}
+	pa, _ := posAfterErase(a.Ndx, b.Ndx)
+	pb, _ := posAfterErase(b.Ndx, a.Ndx)
+	a.Ndx, b.Ndx = pa, pb
+	return one(a), one(b)
+}
+
+// ---- index vocabulary ---------------------------------------------------
+
+// posAfterInsert maps an element position across an insertion.
+func posAfterInsert(p, at int) int {
+	if at <= p {
+		return p + 1
+	}
+	return p
+}
+
+// posAfterErase maps an element position across an erase; gone reports the
+// element itself was erased.
+func posAfterErase(p, at int) (newP int, gone bool) {
+	switch {
+	case p == at:
+		return p, true
+	case p > at:
+		return p - 1, false
+	}
+	return p, false
+}
+
+// posAfterMove maps an element position across a move.
+func posAfterMove(p, from, to int) int {
+	if p == from {
+		return to
+	}
+	if p > from {
+		p--
+	}
+	if p >= to {
+		p++
+	}
+	return p
+}
+
+// gapAfterMove maps an insertion point across a move: the gap's new index
+// is the count of elements that end up before it.
+func gapAfterMove(p, from, to int) int {
+	k := p
+	if from < p {
+		k--
+	}
+	if to < k {
+		k++
+	}
+	return k
+}
+
+// decompose splits a move into its removal index and reinsertion point.
+func decompose(m ot.Op) (removal, reinsertion int) { return m.Ndx, m.To }
+
+func one(o ot.Op) []ot.Op { return []ot.Op{o} }
+
+func moveOrNothing(m ot.Op) []ot.Op {
+	if m.Ndx == m.To {
+		return nil
+	}
+	return one(m)
+}

@@ -1,0 +1,108 @@
+package replset
+
+import (
+	"repro/internal/locking"
+	"repro/internal/trace"
+)
+
+// This file is the logTlaPlusTraceEvent of §4.1 (Figure 2), with the
+// §4.2.1 locking mechanics: the logger must snapshot the node's oplog, but
+// its callers may already hold locks in orders that forbid acquiring the
+// remaining ones (Figure 5). When that happens the logger serves the read
+// from the node's MVCC snapshot of the oplog — which the paper found was
+// permitted by the specification at every such call site.
+
+// Lock hierarchy aliases (locks A, B, C of Figure 5).
+var (
+	lockGlobal = locking.Global
+	lockRepl   = locking.ReplState
+	lockOplog  = locking.Oplog
+)
+
+// Lock mode aliases.
+const (
+	lockIS = locking.IS
+	lockIX = locking.IX
+	lockS  = locking.S
+	lockX  = locking.X
+)
+
+// actorOf returns the lock-manager actor id used for node-internal
+// threads. The simulator is cooperative, so one mutator actor and one
+// tracer probe per node suffice to exercise the ordering rules.
+func actorOf(n *Node) int { return 1 }
+
+// withOplogLock runs fn with the node's oplog locked exclusively, and
+// refreshes the MVCC snapshot before releasing — so the snapshot the trace
+// logger may fall back on is never older than the last completed mutation.
+func (c *Cluster) withOplogLock(n *Node, fn func()) {
+	actor := actorOf(n)
+	acquiredGlobal := n.locks.TryAcquire(actor, lockGlobal, lockIX) == nil
+	acquiredRepl := n.locks.TryAcquire(actor, lockRepl, lockIX) == nil
+	acquiredOplog := n.locks.TryAcquire(actor, lockOplog, lockX) == nil
+	fn()
+	n.snapFirst = n.FirstIndex
+	n.snapEntries = append([]int(nil), n.Entries...)
+	if acquiredOplog {
+		_ = n.locks.Release(actor, lockOplog)
+	}
+	if acquiredRepl {
+		_ = n.locks.Release(actor, lockRepl)
+	}
+	if acquiredGlobal {
+		_ = n.locks.Release(actor, lockGlobal)
+	}
+}
+
+// traceEvent emits one trace event for node n having just executed the
+// named transition. It returns ErrArbiterTracing — the node crash of
+// §4.2.2 — when n is an arbiter. With tracing disabled it is a no-op.
+func (c *Cluster) traceEvent(n *Node, action string) error {
+	if n.logger == nil {
+		return nil
+	}
+	if n.Arbiter {
+		n.failed = ErrArbiterTracing
+		n.Alive = false
+		return ErrArbiterTracing
+	}
+
+	// Read the oplog for the event. Preferred: take the read locks in
+	// hierarchy order. If the caller already holds locks that make the
+	// ordered acquisition impossible (Figure 5), fall back to the MVCC
+	// snapshot, which withOplogLock keeps current as of the last
+	// mutation.
+	first, entries := n.FirstIndex, n.Entries
+	actor := actorOf(n)
+	gotGlobal := n.locks.TryAcquire(actor, lockGlobal, lockIS) == nil
+	gotRepl := n.locks.TryAcquire(actor, lockRepl, lockIS) == nil
+	gotOplog := n.locks.TryAcquire(actor, lockOplog, lockIS) == nil
+	if !gotRepl || !gotOplog {
+		first, entries = n.snapFirst, n.snapEntries
+		c.staleSnapshotTraces++
+	}
+	ev := trace.Event{
+		Node:             n.ID,
+		Action:           action,
+		Role:             n.Role.String(),
+		Term:             n.Term,
+		CommitPointTerm:  n.CommitPoint.Term,
+		CommitPointIndex: n.CommitPoint.Index,
+		OplogStart:       first,
+		Oplog:            append([]int(nil), entries...),
+	}
+	if gotOplog {
+		_ = n.locks.Release(actor, lockOplog)
+	}
+	if gotRepl {
+		_ = n.locks.Release(actor, lockRepl)
+	}
+	if gotGlobal {
+		_ = n.locks.Release(actor, lockGlobal)
+	}
+	if _, err := n.logger.Log(ev); err != nil {
+		return err
+	}
+	c.eventCount++
+	return nil
+}

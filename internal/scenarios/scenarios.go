@@ -1,0 +1,456 @@
+// Package scenarios holds the handwritten integration-test scenarios for
+// the replica set — the stand-in for the paper's 423 handwritten JavaScript
+// tests targeting the replication protocol (§4.1). Each scenario drives a
+// cluster through a deterministic sequence of protocol steps; a scenario
+// is "tracing-incompatible" when it uses features the trace infrastructure
+// cannot handle (arbiters crash under tracing; two-leader windows violate
+// the specification's one-leader assumption) — the paper's 120 of 423.
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/internal/replset"
+)
+
+// Scenario is one handwritten integration test.
+type Scenario struct {
+	Name string
+	// Nodes and Arbiters configure the cluster.
+	Nodes    int
+	Arbiters []int
+	// TracingIncompatible marks scenarios that fail under tracing
+	// (arbiters, deliberate two-leader windows).
+	TracingIncompatible bool
+	// Run drives the cluster. It must be deterministic.
+	Run func(c *replset.Cluster) error
+}
+
+// All returns the scenario catalogue.
+func All() []Scenario {
+	var out []Scenario
+	out = append(out, basicScenarios()...)
+	out = append(out, failoverScenarios()...)
+	out = append(out, arbiterScenarios()...)
+	out = append(out, twoLeaderScenarios()...)
+	return out
+}
+
+// TracingCompatible filters to the scenarios that can run traced.
+func TracingCompatible() []Scenario {
+	var out []Scenario
+	for _, s := range All() {
+		if !s.TracingIncompatible {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func basicScenarios() []Scenario {
+	writeN := func(n int) func(c *replset.Cluster) error {
+		return func(c *replset.Cluster) error {
+			if _, err := c.Election(0); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				if err := c.GossipRound(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	var out []Scenario
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("write_%d_and_replicate", n),
+			Nodes: 3,
+			Run:   writeN(n),
+		})
+	}
+	// Leadership rotations: each node takes a turn as leader and writes.
+	for leader := 0; leader < 3; leader++ {
+		leader := leader
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("rotate_leader_to_%d", leader),
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				if err := c.GossipRound(); err != nil {
+					return err
+				}
+				if leader != 0 {
+					if err := c.Stepdown(0); err != nil {
+						return err
+					}
+					if _, err := c.Election(leader); err != nil {
+						return err
+					}
+					if err := c.ClientWrite(leader); err != nil {
+						return err
+					}
+					if err := c.ReplicateAll(); err != nil {
+						return err
+					}
+					if err := c.GossipRound(); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+	}
+	// Kill-and-clean-restart each follower while writes continue.
+	for victim := 1; victim < 3; victim++ {
+		victim := victim
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("restart_follower_%d_midstream", victim),
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				c.Kill(victim)
+				for i := 0; i < 2; i++ {
+					if err := c.ClientWrite(0); err != nil {
+						return err
+					}
+				}
+				c.Restart(victim, true)
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			},
+		})
+	}
+	// Isolate each follower through a write burst, then heal.
+	for isolated := 1; isolated < 3; isolated++ {
+		isolated := isolated
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("isolate_follower_%d", isolated),
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				other := 3 - isolated // the follower that stays connected
+				c.Partition([]int{isolated}, []int{0, other})
+				for i := 0; i < 2; i++ {
+					if err := c.ClientWrite(0); err != nil {
+						return err
+					}
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				if err := c.GossipRound(); err != nil {
+					return err
+				}
+				c.Heal()
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			},
+		})
+	}
+	out = append(out,
+		Scenario{
+			Name:  "election_only",
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				_, err := c.Election(0)
+				return err
+			},
+		},
+		Scenario{
+			Name:  "election_then_stepdown",
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.Stepdown(0)
+			},
+		},
+		Scenario{
+			Name:  "commit_point_gossip",
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				for i := 0; i < 2; i++ {
+					if err := c.ClientWrite(0); err != nil {
+						return err
+					}
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			},
+		},
+		Scenario{
+			Name:  "five_node_set",
+			Nodes: 5,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				for i := 0; i < 3; i++ {
+					if err := c.ClientWrite(0); err != nil {
+						return err
+					}
+					if err := c.ReplicateAll(); err != nil {
+						return err
+					}
+				}
+				return c.GossipRound()
+			},
+		},
+		Scenario{
+			Name:  "lagged_follower_catches_up",
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				c.Partition([]int{2}, []int{0, 1})
+				for i := 0; i < 3; i++ {
+					if err := c.ClientWrite(0); err != nil {
+						return err
+					}
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				if err := c.GossipRound(); err != nil {
+					return err
+				}
+				c.Heal()
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			},
+		},
+	)
+	return out
+}
+
+func failoverScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:  "clean_failover",
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				if err := c.GossipRound(); err != nil {
+					return err
+				}
+				if err := c.Stepdown(0); err != nil {
+					return err
+				}
+				if _, err := c.Election(1); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(1); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			},
+		},
+		{
+			Name:  "rollback_after_partition",
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				// Old leader diverges alone, then steps down before the
+				// new election so at most one leader exists at a time
+				// (the traced variant must respect the specification's
+				// assumption).
+				c.Partition([]int{0}, []int{1, 2})
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.Stepdown(0); err != nil {
+					return err
+				}
+				if _, err := c.Election(1); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(1); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(1); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				c.Heal()
+				if err := c.GossipRound(); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			},
+		},
+		{
+			Name:  "restart_follower_clean",
+			Nodes: 3,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				c.Kill(2)
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				c.Restart(2, true)
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			},
+		},
+	}
+}
+
+func arbiterScenarios() []Scenario {
+	run := func(c *replset.Cluster) error {
+		if _, err := c.Election(0); err != nil {
+			return err
+		}
+		if err := c.ClientWrite(0); err != nil {
+			return err
+		}
+		if err := c.ReplicateAll(); err != nil {
+			return err
+		}
+		return c.GossipRound()
+	}
+	return []Scenario{
+		{Name: "arbiter_basic", Nodes: 3, Arbiters: []int{2}, TracingIncompatible: true, Run: run},
+		{Name: "arbiter_pair", Nodes: 5, Arbiters: []int{3, 4}, TracingIncompatible: true, Run: run},
+		{Name: "arbiter_election_swing", Nodes: 3, Arbiters: []int{1}, TracingIncompatible: true,
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				if err := c.Stepdown(0); err != nil {
+					return err
+				}
+				if _, err := c.Election(2); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			}},
+		{Name: "arbiter_commit_requires_data_majority", Nodes: 3, Arbiters: []int{1, 2}, TracingIncompatible: true, Run: run},
+	}
+}
+
+func twoLeaderScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:                "two_leaders_across_partition",
+			Nodes:               3,
+			TracingIncompatible: true, // violates the one-leader assumption
+			Run: func(c *replset.Cluster) error {
+				if _, err := c.Election(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				c.Partition([]int{0}, []int{1, 2})
+				if _, err := c.Election(1); err != nil {
+					return err
+				}
+				// Both leaders accept writes concurrently.
+				if err := c.ClientWrite(0); err != nil {
+					return err
+				}
+				if err := c.ClientWrite(1); err != nil {
+					return err
+				}
+				if got := len(c.Leaders()); got != 2 {
+					return fmt.Errorf("expected two leaders, got %d", got)
+				}
+				c.Heal()
+				if err := c.GossipRound(); err != nil {
+					return err
+				}
+				if err := c.ReplicateAll(); err != nil {
+					return err
+				}
+				return c.GossipRound()
+			},
+		},
+	}
+}

@@ -1,0 +1,84 @@
+package scenarios
+
+import (
+	"testing"
+
+	"repro/internal/replset"
+)
+
+func TestCatalogueShape(t *testing.T) {
+	all := All()
+	if len(all) < 15 {
+		t.Fatalf("only %d scenarios", len(all))
+	}
+	names := map[string]bool{}
+	incompatible := 0
+	for _, s := range all {
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.Run == nil || s.Nodes < 1 {
+			t.Fatalf("malformed scenario %s", s.Name)
+		}
+		if s.TracingIncompatible {
+			incompatible++
+		}
+	}
+	if incompatible == 0 {
+		t.Fatal("no tracing-incompatible scenarios")
+	}
+	if got := len(TracingCompatible()); got != len(all)-incompatible {
+		t.Fatalf("TracingCompatible = %d", got)
+	}
+}
+
+// TestAllScenariosRunUntraced: every scenario, including the
+// tracing-incompatible ones, completes without error when tracing is off.
+func TestAllScenariosRunUntraced(t *testing.T) {
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			c, err := replset.New(replset.Config{Nodes: sc.Nodes, Arbiters: sc.Arbiters, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Run(c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestScenariosAreDeterministic: two runs of a scenario produce identical
+// cluster end states.
+func TestScenariosAreDeterministic(t *testing.T) {
+	for _, sc := range TracingCompatible() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			run := func() string {
+				c, err := replset.New(replset.Config{Nodes: sc.Nodes, Arbiters: sc.Arbiters, Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sc.Run(c); err != nil {
+					t.Fatal(err)
+				}
+				out := ""
+				for i := 0; i < c.NumNodes(); i++ {
+					n := c.Node(i)
+					out += n.Role.String()
+					out += "|"
+					for _, e := range n.Entries {
+						out += string(rune('0' + e))
+					}
+					out += ";"
+				}
+				return out
+			}
+			if run() != run() {
+				t.Fatal("scenario not deterministic")
+			}
+		})
+	}
+}

@@ -1,0 +1,411 @@
+// Package tla is a small explicit-state model checker in the style of TLC,
+// the checker for TLA+ specifications. It is the substrate for every
+// experiment in this repository: a specification is a set of initial states
+// plus named actions (guarded transition relations), and the checker
+// exhaustively explores the reachable state space by breadth-first search,
+// verifying invariants at every state and optionally recording the full
+// state graph for export to GraphViz DOT (which the MBTCG pipeline parses,
+// exactly as the paper's Golang generator parsed TLC's DOT dump).
+//
+// The package also implements direct trace checking (the "frontier method"):
+// given a sequence of observed states — possibly partial — it decides
+// whether the sequence is a behaviour of the specification. This is the
+// fast path the paper wished TLC had (TLA+ issue 413); the slow,
+// Pressler-style path that goes through a generated Trace module lives in
+// package tlatext.
+package tla
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// State is implemented by specification states. Key returns a canonical
+// encoding of the state: two states are identical if and only if their keys
+// are equal. The checker deduplicates on keys (TLC's "fingerprints", except
+// collision-free).
+type State interface {
+	Key() string
+}
+
+// Action is a named transition relation: Next returns every successor of a
+// state reachable by taking this action, or nil if the action is not
+// enabled. Actions correspond one-to-one with the named transitions of the
+// TLA+ specification being transcribed.
+type Action[S State] struct {
+	Name string
+	Next func(S) []S
+}
+
+// Invariant is a named state predicate checked at every reachable state.
+// Check returns a non-nil error describing the violation, if any.
+type Invariant[S State] struct {
+	Name  string
+	Check func(S) error
+}
+
+// Spec is an executable specification: initial states, actions, invariants,
+// and an optional state constraint. Constraint plays the role of TLC's
+// CONSTRAINT clause: states for which it returns false are still checked
+// against invariants but their successors are not explored, bounding the
+// state space.
+type Spec[S State] struct {
+	Name       string
+	Init       func() []S
+	Actions    []Action[S]
+	Invariants []Invariant[S]
+	Constraint func(S) bool
+}
+
+// Edge is one transition of the recorded state graph, identifying source and
+// destination states by their dense ids and the action taken.
+type Edge struct {
+	From   int
+	Action string
+	To     int
+}
+
+// Graph is the reachable-state graph recorded during checking. States are
+// numbered densely in BFS discovery order; Keys[i] is the canonical key of
+// state i.
+type Graph[S State] struct {
+	States []S
+	Keys   []string
+	Edges  []Edge
+	Inits  []int
+}
+
+// Successors returns the outgoing edges of state id, in recorded order.
+func (g *Graph[S]) Successors(id int) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Options configures a model-checking run.
+type Options struct {
+	// RecordGraph retains every state and edge so the Result carries a
+	// Graph. Required for DOT export, liveness checking and MBTCG.
+	RecordGraph bool
+	// MaxStates aborts exploration after this many distinct states
+	// (0 = unlimited). The checker returns ErrStateLimit.
+	MaxStates int
+	// MaxDepth bounds the BFS depth (0 = unlimited).
+	MaxDepth int
+}
+
+// ErrStateLimit is returned when exploration hits Options.MaxStates.
+var ErrStateLimit = errors.New("tla: state limit exceeded")
+
+// Violation describes an invariant failure, with the shortest
+// counterexample: the sequence of states (and the actions between them)
+// from an initial state to the violating state.
+type Violation[S State] struct {
+	Invariant string
+	Err       error
+	Trace     []S
+	TraceActs []string // TraceActs[i] led from Trace[i] to Trace[i+1]; len = len(Trace)-1
+}
+
+func (v *Violation[S]) Error() string {
+	return fmt.Sprintf("invariant %s violated after %d steps: %v", v.Invariant, len(v.Trace)-1, v.Err)
+}
+
+// Result reports a completed (or aborted) model-checking run.
+type Result[S State] struct {
+	Spec           string
+	Distinct       int // distinct states found
+	Transitions    int // state transitions examined (including duplicates)
+	Depth          int // maximum BFS depth reached
+	Terminal       int // states with no enabled action (deadlocks, or completed behaviours)
+	Violation      *Violation[S]
+	Graph          *Graph[S] // non-nil iff Options.RecordGraph
+	ConstraintCuts int       // states whose successors were skipped by the constraint
+}
+
+type stateEntry struct {
+	id     int
+	parent int // -1 for initial states
+	act    string
+	depth  int
+}
+
+// Check explores the reachable states of spec breadth-first and returns a
+// Result. If an invariant fails, Result.Violation holds the shortest
+// counterexample and Check returns it as the error as well; exploration
+// stops at the first violation, as TLC does by default.
+func Check[S State](spec *Spec[S], opts Options) (*Result[S], error) {
+	if spec.Init == nil {
+		return nil, errors.New("tla: spec has no Init")
+	}
+	res := &Result[S]{Spec: spec.Name}
+	if opts.RecordGraph {
+		res.Graph = &Graph[S]{}
+	}
+
+	seen := make(map[string]int) // key -> id
+	var entries []stateEntry     // by id
+	var states []S               // by id; retained for counterexamples
+	var queue []int              // ids pending expansion
+
+	checkInvariants := func(s S, id int) *Violation[S] {
+		for _, inv := range spec.Invariants {
+			if err := inv.Check(s); err != nil {
+				trace, acts := rebuildTrace(entries, states, id)
+				return &Violation[S]{Invariant: inv.Name, Err: err, Trace: trace, TraceActs: acts}
+			}
+		}
+		return nil
+	}
+
+	add := func(s S, parent int, act string, depth int) (int, *Violation[S], error) {
+		k := s.Key()
+		if id, ok := seen[k]; ok {
+			return id, nil, nil
+		}
+		id := len(states)
+		if opts.MaxStates > 0 && id >= opts.MaxStates {
+			return -1, nil, ErrStateLimit
+		}
+		seen[k] = id
+		states = append(states, s)
+		entries = append(entries, stateEntry{id: id, parent: parent, act: act, depth: depth})
+		if depth > res.Depth {
+			res.Depth = depth
+		}
+		if res.Graph != nil {
+			res.Graph.States = append(res.Graph.States, s)
+			res.Graph.Keys = append(res.Graph.Keys, k)
+		}
+		if v := checkInvariants(s, id); v != nil {
+			return id, v, nil
+		}
+		withinConstraint := spec.Constraint == nil || spec.Constraint(s)
+		if !withinConstraint {
+			res.ConstraintCuts++
+		}
+		if withinConstraint && (opts.MaxDepth == 0 || depth < opts.MaxDepth) {
+			queue = append(queue, id)
+		}
+		return id, nil, nil
+	}
+
+	for _, s := range spec.Init() {
+		id, viol, err := add(s, -1, "", 0)
+		if err != nil {
+			return res, err
+		}
+		if res.Graph != nil && id >= 0 {
+			res.Graph.Inits = append(res.Graph.Inits, id)
+		}
+		if viol != nil {
+			res.Violation = viol
+			res.Distinct = len(states)
+			return res, viol
+		}
+	}
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		s := states[id]
+		depth := entries[id].depth
+		enabled := false
+		for _, a := range spec.Actions {
+			for _, succ := range a.Next(s) {
+				enabled = true
+				res.Transitions++
+				sid, viol, err := add(succ, id, a.Name, depth+1)
+				if err != nil {
+					res.Distinct = len(states)
+					return res, err
+				}
+				if res.Graph != nil {
+					res.Graph.Edges = append(res.Graph.Edges, Edge{From: id, Action: a.Name, To: sid})
+				}
+				if viol != nil {
+					res.Violation = viol
+					res.Distinct = len(states)
+					return res, viol
+				}
+			}
+		}
+		if !enabled {
+			res.Terminal++
+		}
+	}
+	res.Distinct = len(states)
+	return res, nil
+}
+
+func rebuildTrace[S State](entries []stateEntry, states []S, id int) ([]S, []string) {
+	var rev []int
+	for i := id; i >= 0; i = entries[i].parent {
+		rev = append(rev, i)
+	}
+	trace := make([]S, 0, len(rev))
+	acts := make([]string, 0, len(rev)-1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		trace = append(trace, states[rev[i]])
+		if i > 0 {
+			acts = append(acts, entries[rev[i-1]].act)
+		}
+	}
+	return trace, acts
+}
+
+// TerminalStates returns the ids of states with no outgoing edges in g.
+// For specs whose constraint halts behaviours (e.g. "every client performed
+// its one operation and merged"), these are the completed behaviours —
+// MBTCG derives one test case per terminal state.
+func (g *Graph[S]) TerminalStates() []int {
+	hasOut := make([]bool, len(g.States))
+	for _, e := range g.Edges {
+		hasOut[e.From] = true
+	}
+	var out []int
+	for id := range g.States {
+		if !hasOut[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// PathTo returns one shortest path (state ids) from an initial state to the
+// given state id, or nil if unreachable. The graph records BFS order, so
+// parent-following via edges is reconstructed by a fresh BFS here.
+func (g *Graph[S]) PathTo(id int) []int {
+	parent := make([]int, len(g.States))
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	var queue []int
+	for _, i := range g.Inits {
+		parent[i] = -1
+		queue = append(queue, i)
+	}
+	adj := g.adjacency()
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == id {
+			var rev []int
+			for i := id; i >= 0; i = parent[i] {
+				rev = append(rev, i)
+			}
+			path := make([]int, 0, len(rev))
+			for i := len(rev) - 1; i >= 0; i-- {
+				path = append(path, rev[i])
+			}
+			return path
+		}
+		for _, e := range adj[cur] {
+			if parent[e.To] == -2 {
+				parent[e.To] = cur
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Graph[S]) adjacency() [][]Edge {
+	adj := make([][]Edge, len(g.States))
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	return adj
+}
+
+// CheckEventually verifies the temporal property "from every reachable
+// state, a state satisfying p is reachable" — the finite-state analogue of
+// the paper's liveness property that the commit point is eventually
+// propagated (under fairness, a behaviour cannot get stuck forever in
+// states from which no p-state is reachable). It returns the id of a
+// witness state that cannot reach any p-state, or -1 if the property holds.
+func CheckEventually[S State](g *Graph[S], p func(S) bool) int {
+	canReach := make([]bool, len(g.States))
+	// Reverse adjacency, then BFS backwards from all p-states.
+	radj := make([][]int, len(g.States))
+	for _, e := range g.Edges {
+		radj[e.To] = append(radj[e.To], e.From)
+	}
+	var queue []int
+	for id, s := range g.States {
+		if p(s) {
+			canReach[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, pred := range radj[cur] {
+			if !canReach[pred] {
+				canReach[pred] = true
+				queue = append(queue, pred)
+			}
+		}
+	}
+	for id := range g.States {
+		if !canReach[id] {
+			return id
+		}
+	}
+	return -1
+}
+
+// CheckEventuallyWithin is CheckEventually restricted to states satisfying
+// within — normally the spec's state constraint. States on the constraint
+// boundary are recorded but never expanded, so they trivially cannot reach
+// anything; TLC likewise evaluates liveness only inside the constraint.
+func CheckEventuallyWithin[S State](g *Graph[S], p func(S) bool, within func(S) bool) int {
+	canReach := make([]bool, len(g.States))
+	radj := make([][]int, len(g.States))
+	for _, e := range g.Edges {
+		radj[e.To] = append(radj[e.To], e.From)
+	}
+	var queue []int
+	for id, s := range g.States {
+		if p(s) {
+			canReach[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, pred := range radj[cur] {
+			if !canReach[pred] {
+				canReach[pred] = true
+				queue = append(queue, pred)
+			}
+		}
+	}
+	for id, s := range g.States {
+		if !canReach[id] && (within == nil || within(s)) {
+			return id
+		}
+	}
+	return -1
+}
+
+// ActionNames returns the sorted set of action names appearing in g's edges.
+func (g *Graph[S]) ActionNames() []string {
+	set := make(map[string]bool)
+	for _, e := range g.Edges {
+		set[e.Action] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,174 @@
+package tla
+
+import (
+	"fmt"
+)
+
+// Observation is one step of an observed execution trace. A trace event from
+// a running implementation usually constrains only part of the
+// specification state (the variables the implementation could snapshot at
+// the moment of the transition), so an Observation is a predicate rather
+// than a full state. Matches reports whether spec state s is consistent
+// with what was observed.
+type Observation[S State] interface {
+	Matches(s S) bool
+	String() string
+}
+
+// FullObservation adapts a complete state into an Observation that matches
+// exactly that state.
+type FullObservation[S State] struct{ Want S }
+
+// Matches reports whether s has the same canonical key as the observed state.
+func (o FullObservation[S]) Matches(s S) bool { return s.Key() == o.Want.Key() }
+
+func (o FullObservation[S]) String() string { return o.Want.Key() }
+
+// TraceResult reports the outcome of checking an observed trace against a
+// specification.
+type TraceResult struct {
+	// Steps is the number of observations successfully matched.
+	Steps int
+	// OK is true if every observation was matched.
+	OK bool
+	// FailedStep, when !OK, is the index of the first observation no
+	// specification behaviour could produce. -1 when OK.
+	FailedStep int
+	// FrontierSizes[i] is the number of candidate specification states
+	// consistent with the trace prefix ending at observation i. A
+	// frontier larger than 1 means the observations were partial and
+	// several spec behaviours remain possible (Pressler's refinement
+	// technique: the missing variables are existentially quantified).
+	FrontierSizes []int
+	// Explanations[i] is the set of action names that could have produced
+	// observation i+1 from some state in frontier i (diagnostics).
+	Explanations [][]string
+}
+
+// TraceError is returned when a trace is not a behaviour of the spec.
+type TraceError struct {
+	Step int
+	Obs  string
+}
+
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("tla: trace diverges from specification at step %d (observation %s): no specification behaviour matches", e.Step, e.Obs)
+}
+
+// CheckTrace decides whether the observed trace is a behaviour of spec,
+// using the direct frontier method: the set of specification states
+// consistent with the trace prefix is advanced one observation at a time.
+// This is the linear-time path the paper wanted built into TLC (TLA+ issue
+// 413); the Pressler-style Trace-module path lives in package tlatext.
+//
+// The first observation must match an initial state. Each later observation
+// must be reachable from some state of the current frontier by exactly one
+// action. An empty trace is trivially a behaviour.
+func CheckTrace[S State](spec *Spec[S], trace []Observation[S]) (*TraceResult, error) {
+	res := &TraceResult{FailedStep: -1}
+	if len(trace) == 0 {
+		res.OK = true
+		return res, nil
+	}
+
+	frontier := make(map[string]S)
+	for _, s := range spec.Init() {
+		if trace[0].Matches(s) {
+			frontier[s.Key()] = s
+		}
+	}
+	if len(frontier) == 0 {
+		res.FailedStep = 0
+		return res, &TraceError{Step: 0, Obs: trace[0].String()}
+	}
+	res.Steps = 1
+	res.FrontierSizes = append(res.FrontierSizes, len(frontier))
+
+	for i := 1; i < len(trace); i++ {
+		next := make(map[string]S)
+		actSet := make(map[string]bool)
+		for _, s := range frontier {
+			for _, a := range spec.Actions {
+				for _, succ := range a.Next(s) {
+					if trace[i].Matches(succ) {
+						next[succ.Key()] = succ
+						actSet[a.Name] = true
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			res.FailedStep = i
+			return res, &TraceError{Step: i, Obs: trace[i].String()}
+		}
+		acts := make([]string, 0, len(actSet))
+		for a := range actSet {
+			acts = append(acts, a)
+		}
+		res.Explanations = append(res.Explanations, acts)
+		frontier = next
+		res.Steps++
+		res.FrontierSizes = append(res.FrontierSizes, len(frontier))
+	}
+	res.OK = true
+	return res, nil
+}
+
+// CheckTraceStuttering is CheckTrace with stuttering allowed: an observation
+// may also be matched by taking no action, provided it is consistent with a
+// state already in the frontier. Implementations often log events that do
+// not change the modelled variables (e.g. a heartbeat that taught a node
+// nothing new); TLA+ behaviours are closed under stuttering, so a faithful
+// trace checker must accept them.
+func CheckTraceStuttering[S State](spec *Spec[S], trace []Observation[S]) (*TraceResult, error) {
+	res := &TraceResult{FailedStep: -1}
+	if len(trace) == 0 {
+		res.OK = true
+		return res, nil
+	}
+	frontier := make(map[string]S)
+	for _, s := range spec.Init() {
+		if trace[0].Matches(s) {
+			frontier[s.Key()] = s
+		}
+	}
+	if len(frontier) == 0 {
+		res.FailedStep = 0
+		return res, &TraceError{Step: 0, Obs: trace[0].String()}
+	}
+	res.Steps = 1
+	res.FrontierSizes = append(res.FrontierSizes, len(frontier))
+
+	for i := 1; i < len(trace); i++ {
+		next := make(map[string]S)
+		actSet := make(map[string]bool)
+		for _, s := range frontier {
+			if trace[i].Matches(s) { // stuttering step
+				next[s.Key()] = s
+				actSet["<stutter>"] = true
+			}
+			for _, a := range spec.Actions {
+				for _, succ := range a.Next(s) {
+					if trace[i].Matches(succ) {
+						next[succ.Key()] = succ
+						actSet[a.Name] = true
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			res.FailedStep = i
+			return res, &TraceError{Step: i, Obs: trace[i].String()}
+		}
+		acts := make([]string, 0, len(actSet))
+		for a := range actSet {
+			acts = append(acts, a)
+		}
+		res.Explanations = append(res.Explanations, acts)
+		frontier = next
+		res.Steps++
+		res.FrontierSizes = append(res.FrontierSizes, len(frontier))
+	}
+	res.OK = true
+	return res, nil
+}

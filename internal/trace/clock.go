@@ -1,0 +1,72 @@
+// Package trace implements the MBTC data pipeline of Figure 1: trace
+// events emitted by replica-set nodes as JSON log lines, the merge-and-sort
+// of the per-node logs, and the post-processing that turns a stream of
+// single-node trace events into a sequence of whole-replica-set states
+// (Figure 3) suitable for trace-checking against RaftMongo.
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Timestamp is a wall-clock time with millisecond precision, the log
+// timestamp granularity of the MongoDB Server. Values are milliseconds.
+type Timestamp int64
+
+func (t Timestamp) String() string { return fmt.Sprintf("%d.%03d", int64(t)/1000, int64(t)%1000) }
+
+// Clock abstracts the system clock so tests are deterministic. Now returns
+// the current time; Sleep advances at least the given number of
+// milliseconds.
+type Clock interface {
+	Now() Timestamp
+	Sleep(ms int)
+}
+
+// SimClock is a simulated millisecond clock. Multiple goroutines may share
+// it. Reading the clock does not advance it; Sleep does, which makes the
+// sleep-until-tick idiom of Figure 2 terminate immediately and
+// deterministically.
+type SimClock struct {
+	mu  sync.Mutex
+	now Timestamp
+}
+
+// NewSimClock returns a clock starting at the given millisecond.
+func NewSimClock(start Timestamp) *SimClock { return &SimClock{now: start} }
+
+// Now returns the current simulated time.
+func (c *SimClock) Now() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the clock by ms milliseconds.
+func (c *SimClock) Sleep(ms int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += Timestamp(ms)
+}
+
+// Advance is Sleep by another name, for scheduler use.
+func (c *SimClock) Advance(ms int) { c.Sleep(ms) }
+
+// WaitNextMillisecond blocks until the clock's millisecond digit has
+// changed, returning the new time — the logTlaPlusTraceEvent idiom of
+// Figure 2, which guarantees every trace event in the cluster gets a
+// distinct timestamp when all processes share one machine (and one clock).
+// It panics if the clock goes backwards, as the pseudocode asserts.
+func WaitNextMillisecond(c Clock) Timestamp {
+	before := c.Now()
+	after := c.Now()
+	for after == before {
+		c.Sleep(1)
+		after = c.Now()
+	}
+	if after < before {
+		panic(fmt.Sprintf("trace: clock went backwards: %v -> %v", before, after))
+	}
+	return after
+}
