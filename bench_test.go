@@ -7,6 +7,7 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -226,6 +227,68 @@ func BenchmarkTransformPair(b *testing.B) {
 		if _, _, err := tr.TransformPair(a, c); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelCheck compares the sequential oracle (workers=1)
+// against the parallel fingerprinted checker at increasing worker counts
+// on the two RaftMongo replica-set specification variants — the workload
+// under every model-checking experiment in the repository. The 1-vs-N
+// ratio is the multi-worker scaling TLC's engineering made famous; on a
+// single-core host the parallel path still profits from fingerprint
+// deduplication but cannot scale further.
+func BenchmarkParallelCheck(b *testing.B) {
+	variants := []struct {
+		name string
+		spec func() *tla.Spec[raftmongo.State]
+	}{
+		{"raftmongo-v1-full", func() *tla.Spec[raftmongo.State] { return raftmongo.SpecV1(raftmongo.DefaultConfig) }},
+		{"raftmongo-v2-small", func() *tla.Spec[raftmongo.State] {
+			return raftmongo.SpecV2(raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2})
+		}},
+	}
+	for _, v := range variants {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", v.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := tla.Check(v.spec(), tla.Options{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Distinct), "states")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelTrace compares trace-checking worker counts on a
+// replica-set trace captured from the rollback fuzzer (the checking half of
+// the Figure 1 pipeline over a realistic replset workload).
+func BenchmarkParallelTrace(b *testing.B) {
+	fcfg := fuzzer.DefaultRollbackConfig()
+	fcfg.SyncBeforeWrites = true
+	events, err := mbtc.RunTraced(replset.Config{Nodes: 3, Seed: fcfg.Seed}, func(c *replset.Cluster) error {
+		_, ferr := fuzzer.FuzzRollback(fcfg, c)
+		return ferr
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := raftmongo.SpecV2(mbtc.CheckConfig(3))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("replset-fuzz/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, cerr := mbtc.CheckEventsWith(3, events, spec, w)
+				if cerr != nil {
+					b.Fatal(cerr)
+				}
+				if !rep.OK {
+					b.Fatalf("trace diverged at %d", rep.FailedStep)
+				}
+				b.ReportMetric(float64(rep.Events), "events")
+			}
+		})
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mbtc -scenario write_3_and_replicate [-spec v2] [-list]
+//	mbtc -scenario write_3_and_replicate [-spec v2] [-list] [-workers N]
 //	mbtc -fuzz [-steps 400] [-seed 7] [-sync-before-writes] [-flawed]
 package main
 
@@ -33,6 +33,7 @@ func main() {
 		seed         = flag.Int64("seed", 7, "fuzzer seed")
 		syncFirst    = flag.Bool("sync-before-writes", false, "fully sync all followers before writes (the paper's mitigation)")
 		flawed       = flag.Bool("flawed", false, "enable the flawed initial-sync quorum rule and recent-only initial sync")
+		workers      = flag.Int("workers", 0, "trace-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -46,13 +47,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed); err != nil {
+	if err := run(*scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool) error {
+func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int) error {
 	var (
 		cfg      replset.Config
 		workload func(*replset.Cluster) error
@@ -108,7 +109,7 @@ func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syn
 		return fmt.Errorf("unknown spec variant %q", specVariant)
 	}
 
-	rep, _, err := mbtc.Pipeline(cfg, workload, spec)
+	rep, _, err := mbtc.PipelineWith(cfg, workload, spec, workers)
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage]
+//	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N]
 package main
 
 import (
@@ -28,16 +28,17 @@ func main() {
 		dotPath  = flag.String("dot", "array_ot.dot", "state-graph DOT output path")
 		emitPath = flag.String("emit", "", "write the generated cases as a Go test file")
 		withCov  = flag.Bool("coverage", false, "print the §5.2 coverage comparison table")
+		workers  = flag.Int("workers", 0, "model-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if err := run(*dotPath, *emitPath, *withCov); err != nil {
+	if err := run(*dotPath, *emitPath, *withCov, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtcg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dotPath, emitPath string, withCov bool) error {
-	cases, distinct, err := mbtcg.Generate(arrayot.DefaultConfig(), dotPath)
+func run(dotPath, emitPath string, withCov bool, workers int) error {
+	cases, distinct, err := mbtcg.GenerateWith(arrayot.DefaultConfig(), dotPath, workers)
 	if err != nil {
 		return err
 	}

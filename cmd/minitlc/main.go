@@ -7,7 +7,7 @@
 //
 //	minitlc -spec raftmongo-v1|raftmongo-v2|arrayot|locking \
 //	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
-//	        [-dot out.dot] [-liveness]
+//	        [-dot out.dot] [-liveness] [-workers N]
 package main
 
 import (
@@ -31,16 +31,17 @@ func main() {
 		actors   = flag.Int("actors", 2, "actor count (locking)")
 		dotPath  = flag.String("dot", "", "write the state graph as DOT to this file")
 		liveness = flag.Bool("liveness", false, "check the commit-point-propagation liveness property (raftmongo)")
+		workers  = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness); err != nil {
+	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "minitlc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool) error {
-	opts := tla.Options{RecordGraph: dotPath != "" || liveness}
+func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool, workers int) error {
+	opts := tla.Options{RecordGraph: dotPath != "" || liveness, Workers: workers}
 	switch specName {
 	case "raftmongo-v1", "raftmongo-v2":
 		cfg := raftmongo.Config{Nodes: nodes, MaxTerm: maxTerm, MaxLogLen: maxLog}

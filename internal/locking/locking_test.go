@@ -2,6 +2,7 @@ package locking
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -155,5 +156,29 @@ func TestManagerConformsToSpec(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestParallelCheckerAgrees cross-checks the parallel model checker against
+// the sequential oracle on the Locking specification.
+func TestParallelCheckerAgrees(t *testing.T) {
+	for _, actors := range []int{2, 3} {
+		seq, err := tla.Check(Spec(SpecConfig{Actors: actors}), tla.Options{Workers: 1, RecordGraph: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := tla.Check(Spec(SpecConfig{Actors: actors}), tla.Options{Workers: 4, RecordGraph: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Distinct != seq.Distinct || par.Transitions != seq.Transitions ||
+			par.Depth != seq.Depth || par.Terminal != seq.Terminal {
+			t.Fatalf("actors=%d: parallel %d/%d/%d/%d, sequential %d/%d/%d/%d",
+				actors, par.Distinct, par.Transitions, par.Depth, par.Terminal,
+				seq.Distinct, seq.Transitions, seq.Depth, seq.Terminal)
+		}
+		if !reflect.DeepEqual(par.Graph.Keys, seq.Graph.Keys) || !reflect.DeepEqual(par.Graph.Edges, seq.Graph.Edges) {
+			t.Fatalf("actors=%d: recorded graphs differ", actors)
+		}
 	}
 }

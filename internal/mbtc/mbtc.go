@@ -114,14 +114,21 @@ type Report struct {
 }
 
 // CheckEvents runs the post-processor and the trace checker over merged
-// events against the given specification variant.
+// events against the given specification variant, with the default
+// (GOMAXPROCS) worker count.
 func CheckEvents(nodes int, events []trace.Event, spec *tla.Spec[raftmongo.State]) (*Report, error) {
+	return CheckEventsWith(nodes, events, spec, 0)
+}
+
+// CheckEventsWith is CheckEvents with an explicit checker worker count
+// (0 = GOMAXPROCS, 1 = sequential).
+func CheckEventsWith(nodes int, events []trace.Event, spec *tla.Spec[raftmongo.State], workers int) (*Report, error) {
 	processed, err := trace.Process(nodes, events, trace.ProcessOptions{FillOplogPrefixes: true})
 	if err != nil {
 		return nil, fmt.Errorf("mbtc: post-processing: %w", err)
 	}
 	obs := ObservationsFromProcessed(nodes, events, processed)
-	res, checkErr := tla.CheckTrace(spec, obs)
+	res, checkErr := tla.CheckTraceWith(spec, obs, tla.TraceOptions{Workers: workers})
 	rep := &Report{
 		Events:        len(events),
 		PrefixFills:   processed.PrefixFill,
@@ -190,11 +197,17 @@ func RunTraced(cfg replset.Config, workload func(*replset.Cluster) error) ([]tra
 // against the spec. It returns the report plus the merged events (for the
 // Trace-module path of package tlatext).
 func Pipeline(cfg replset.Config, workload func(*replset.Cluster) error, spec *tla.Spec[raftmongo.State]) (*Report, []trace.Event, error) {
+	return PipelineWith(cfg, workload, spec, 0)
+}
+
+// PipelineWith is Pipeline with an explicit checker worker count
+// (0 = GOMAXPROCS, 1 = sequential).
+func PipelineWith(cfg replset.Config, workload func(*replset.Cluster) error, spec *tla.Spec[raftmongo.State], workers int) (*Report, []trace.Event, error) {
 	merged, err := RunTraced(cfg, workload)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep, err := CheckEvents(cfg.Nodes, merged, spec)
+	rep, err := CheckEventsWith(cfg.Nodes, merged, spec, workers)
 	return rep, merged, err
 }
 

@@ -48,7 +48,14 @@ type TestCase struct {
 // generated test cases. It returns the cases sorted by name and the number
 // of distinct states explored.
 func Generate(cfg arrayot.Config, dotPath string) ([]TestCase, int, error) {
-	res, err := tla.Check(arrayot.Spec(cfg), tla.Options{RecordGraph: true})
+	return GenerateWith(cfg, dotPath, 0)
+}
+
+// GenerateWith is Generate with an explicit model-checker worker count
+// (0 = GOMAXPROCS, 1 = sequential). The generated cases are identical at
+// any worker count: the parallel checker records the same graph.
+func GenerateWith(cfg arrayot.Config, dotPath string, workers int) ([]TestCase, int, error) {
+	res, err := tla.Check(arrayot.Spec(cfg), tla.Options{RecordGraph: true, Workers: workers})
 	if err != nil {
 		return nil, 0, fmt.Errorf("mbtcg: model checking failed: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -228,5 +229,26 @@ func TestGenerateWritesDOTFile(t *testing.T) {
 	}
 	if info.Size() == 0 {
 		t.Fatal("DOT file empty")
+	}
+}
+
+// TestGenerateWithWorkersDeterministic: the generated test-case corpus —
+// derived from the recorded state graph — must be identical whether the
+// model checker ran sequentially or with a worker pool.
+func TestGenerateWithWorkersDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	seqCases, seqDistinct, err := GenerateWith(arrayot.DefaultConfig(), filepath.Join(dir, "seq.dot"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCases, parDistinct, err := GenerateWith(arrayot.DefaultConfig(), filepath.Join(dir, "par.dot"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqDistinct != parDistinct {
+		t.Fatalf("distinct states: sequential %d, parallel %d", seqDistinct, parDistinct)
+	}
+	if !reflect.DeepEqual(seqCases, parCases) {
+		t.Fatalf("generated cases differ: %d sequential vs %d parallel", len(seqCases), len(parCases))
 	}
 }

@@ -1,6 +1,7 @@
 package raftmongo
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -350,5 +351,39 @@ func TestQuickQuorumOverlap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestParallelCheckerAgrees cross-checks the parallel model checker against
+// the sequential oracle on both RaftMongo variants: every counter and the
+// full recorded graph must be identical (the guarantee the rest of the
+// repository relies on when it runs with the default GOMAXPROCS workers).
+func TestParallelCheckerAgrees(t *testing.T) {
+	for name, mk := range map[string]func() *tla.Spec[State]{
+		"V1": func() *tla.Spec[State] { return SpecV1(smallCfg()) },
+		"V2": func() *tla.Spec[State] { return SpecV2(smallCfg()) },
+	} {
+		seq, err := tla.Check(mk(), tla.Options{Workers: 1, RecordGraph: true})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		for _, w := range []int{4} {
+			par, err := tla.Check(mk(), tla.Options{Workers: w, RecordGraph: true})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if par.Distinct != seq.Distinct || par.Transitions != seq.Transitions ||
+				par.Depth != seq.Depth || par.Terminal != seq.Terminal {
+				t.Fatalf("%s workers=%d: got %d/%d/%d/%d, want %d/%d/%d/%d",
+					name, w, par.Distinct, par.Transitions, par.Depth, par.Terminal,
+					seq.Distinct, seq.Transitions, seq.Depth, seq.Terminal)
+			}
+			if !reflect.DeepEqual(par.Graph.Keys, seq.Graph.Keys) {
+				t.Fatalf("%s workers=%d: graph keys differ", name, w)
+			}
+			if !reflect.DeepEqual(par.Graph.Edges, seq.Graph.Edges) {
+				t.Fatalf("%s workers=%d: graph edges differ", name, w)
+			}
+		}
 	}
 }

@@ -1,0 +1,268 @@
+package tla
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel checker is a level-synchronized BFS in the style of TLC's
+// multi-worker mode. Each level alternates two phases:
+//
+//   - Expansion (parallel): the frontier is cut into contiguous chunks and
+//     a pool of workers expands them, computing every successor's canonical
+//     key and fingerprint and claiming the fingerprint in the sharded
+//     visited set. The expensive work — Next, Key, hashing — all happens
+//     here, concurrently.
+//
+//   - Merge (sequential): candidate successors are replayed in exactly the
+//     order the sequential checker would have produced them (frontier
+//     order, then action order, then successor order), assigning dense ids,
+//     recording graph edges, checking invariants and applying the state
+//     constraint and the MaxStates/MaxDepth bounds.
+//
+// Because ids, invariant checks and early exits are all resolved during the
+// deterministic merge, the parallel checker's Result — counters, recorded
+// graph, and shortest counterexample — is byte-for-byte identical to the
+// sequential oracle's (modulo fingerprint collisions, which
+// Options.CollisionFree rules out).
+
+// candidate is one successor produced during expansion, awaiting the merge.
+type candidate[S State] struct {
+	succ  S
+	key   string
+	act   string
+	entry *visitedEntry
+}
+
+// chunkOut is the ordered output of expanding one contiguous frontier chunk.
+type chunkOut[S State] struct {
+	cands    []candidate[S]
+	perState []int // successor count per frontier state of the chunk
+}
+
+// resolveWorkers maps Options.Workers to an effective worker count:
+// 0 (or negative) means GOMAXPROCS, TLC's default.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// chunkPlan cuts n items into contiguous chunks of roughly n/(workers*4):
+// small enough for dynamic load balancing, large enough to amortize the
+// per-chunk handoff. It is the single source of truth for chunk count and
+// boundaries; callers size their per-chunk result slices from nChunks and
+// then call run.
+type chunkPlan struct {
+	n, workers, chunkSize, nChunks int
+}
+
+func planChunks(n, workers int) chunkPlan {
+	chunkSize := n / (workers * 4)
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	nChunks := (n + chunkSize - 1) / chunkSize
+	if workers > nChunks {
+		workers = nChunks
+	}
+	return chunkPlan{n: n, workers: workers, chunkSize: chunkSize, nChunks: nChunks}
+}
+
+// run calls fn(chunk, lo, hi) for every chunk of the plan, either inline
+// (narrow inputs are not worth a goroutine handoff) or from a pool of
+// workers pulling chunk indices off an atomic cursor. fn must be safe for
+// concurrent calls on distinct chunks; chunk indices are dense, so callers
+// collect per-chunk results into a slice and reassemble them in
+// deterministic chunk order.
+func (p chunkPlan) run(fn func(chunk, lo, hi int)) {
+	doChunk := func(c int) {
+		lo := c * p.chunkSize
+		hi := lo + p.chunkSize
+		if hi > p.n {
+			hi = p.n
+		}
+		fn(c, lo, hi)
+	}
+	// Inline only when there is nothing to share: a single chunk would
+	// serialize anyway, and one worker means no pool. Small frontiers with
+	// expensive Next/Key/Matches (typical of trace checking) still profit
+	// from a handful of goroutines.
+	if p.workers == 1 || p.nChunks == 1 {
+		for c := 0; c < p.nChunks; c++ {
+			doChunk(c)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= p.nChunks {
+					return
+				}
+				doChunk(c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func checkParallel[S State](spec *Spec[S], opts Options, workers int) (*Result[S], error) {
+	if spec.Init == nil {
+		return nil, errNoInit
+	}
+	res := &Result[S]{Spec: spec.Name}
+	if opts.RecordGraph {
+		res.Graph = &Graph[S]{}
+	}
+
+	vs := newVisitedSet(opts.CollisionFree)
+	var entries []stateEntry
+	var states []S
+	var frontier []int
+
+	// addState installs a newly discovered state (entry.id must be -1),
+	// mirroring the sequential checker's add: id assignment, depth and
+	// graph bookkeeping, invariant checks, constraint and depth bounds.
+	addState := func(s S, key string, e *visitedEntry, parent int, act string, depth int) (*Violation[S], error) {
+		id := len(states)
+		if opts.MaxStates > 0 && id >= opts.MaxStates {
+			return nil, ErrStateLimit
+		}
+		e.id = id
+		states = append(states, s)
+		entries = append(entries, stateEntry{id: id, parent: parent, act: act, depth: depth})
+		if depth > res.Depth {
+			res.Depth = depth
+		}
+		if res.Graph != nil {
+			res.Graph.States = append(res.Graph.States, s)
+			res.Graph.Keys = append(res.Graph.Keys, key)
+		}
+		for _, inv := range spec.Invariants {
+			if err := inv.Check(s); err != nil {
+				trace, acts := rebuildTrace(entries, states, id)
+				return &Violation[S]{Invariant: inv.Name, Err: err, Trace: trace, TraceActs: acts}, nil
+			}
+		}
+		withinConstraint := spec.Constraint == nil || spec.Constraint(s)
+		if !withinConstraint {
+			res.ConstraintCuts++
+		}
+		if withinConstraint && (opts.MaxDepth == 0 || depth < opts.MaxDepth) {
+			frontier = append(frontier, id)
+		}
+		return nil, nil
+	}
+
+	for _, s := range spec.Init() {
+		k := s.Key()
+		e := vs.claim(k)
+		if e.id < 0 {
+			viol, err := addState(s, k, e, -1, "", 0)
+			if err != nil {
+				return res, err
+			}
+			if viol != nil {
+				if res.Graph != nil {
+					res.Graph.Inits = append(res.Graph.Inits, e.id)
+				}
+				res.Violation = viol
+				res.Distinct = len(states)
+				return res, viol
+			}
+		}
+		if res.Graph != nil {
+			res.Graph.Inits = append(res.Graph.Inits, e.id)
+		}
+	}
+
+	for len(frontier) > 0 {
+		outs := expandFrontier(spec, states, frontier, vs, workers)
+
+		// Merge phase: replay candidates in deterministic order.
+		expanded := frontier
+		frontier = nil
+		fi := 0 // index into expanded, across chunk boundaries
+		for oi := range outs {
+			out := &outs[oi]
+			ci := 0
+			for _, n := range out.perState {
+				id := expanded[fi]
+				fi++
+				if n == 0 {
+					res.Terminal++
+					continue
+				}
+				depth := entries[id].depth
+				for j := 0; j < n; j++ {
+					c := out.cands[ci]
+					ci++
+					res.Transitions++
+					var viol *Violation[S]
+					sid := c.entry.id
+					if sid < 0 {
+						var err error
+						viol, err = addState(c.succ, c.key, c.entry, id, c.act, depth+1)
+						if err != nil {
+							res.Distinct = len(states)
+							return res, err
+						}
+						sid = c.entry.id
+					}
+					if res.Graph != nil {
+						res.Graph.Edges = append(res.Graph.Edges, Edge{From: id, Action: c.act, To: sid})
+					}
+					if viol != nil {
+						res.Violation = viol
+						res.Distinct = len(states)
+						return res, viol
+					}
+				}
+			}
+		}
+	}
+	res.Distinct = len(states)
+	return res, nil
+}
+
+// expandFrontier expands every frontier state, in parallel across workers,
+// returning per-chunk candidate lists in frontier order. Workers claim each
+// successor's fingerprint in the sharded visited set so the merge phase
+// performs no hashing at all. Successors already visited in a previous
+// level (entry.id set and stable for the whole expansion phase) keep only
+// {act, entry} — the merge needs neither the state nor its key to record
+// the duplicate edge, and dropping them keeps per-level buffering near the
+// fingerprint set's 8-bytes-per-state promise.
+func expandFrontier[S State](spec *Spec[S], states []S, frontier []int, vs *visitedSet, workers int) []chunkOut[S] {
+	plan := planChunks(len(frontier), workers)
+	outs := make([]chunkOut[S], plan.nChunks)
+	plan.run(func(c, lo, hi int) {
+		out := chunkOut[S]{perState: make([]int, 0, hi-lo)}
+		for _, id := range frontier[lo:hi] {
+			s := states[id]
+			before := len(out.cands)
+			for _, a := range spec.Actions {
+				for _, succ := range a.Next(s) {
+					k := succ.Key()
+					e := vs.claim(k)
+					if e.id >= 0 {
+						out.cands = append(out.cands, candidate[S]{act: a.Name, entry: e})
+					} else {
+						out.cands = append(out.cands, candidate[S]{succ: succ, key: k, act: a.Name, entry: e})
+					}
+				}
+			}
+			out.perState = append(out.perState, len(out.cands)-before)
+		}
+		outs[c] = out
+	})
+	return outs
+}

@@ -19,12 +19,16 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // State is implemented by specification states. Key returns a canonical
 // encoding of the state: two states are identical if and only if their keys
-// are equal. The checker deduplicates on keys (TLC's "fingerprints", except
-// collision-free).
+// are equal. The checker deduplicates on keys (or, on the parallel path,
+// on 64-bit fingerprints of them — see Options.CollisionFree).
+//
+// Unless Options.Workers is 1, Key is called from multiple goroutines
+// concurrently (on distinct states) and must not mutate shared state.
 type State interface {
 	Key() string
 }
@@ -33,6 +37,13 @@ type State interface {
 // state reachable by taking this action, or nil if the action is not
 // enabled. Actions correspond one-to-one with the named transitions of the
 // TLA+ specification being transcribed.
+//
+// Unless Options.Workers (or TraceOptions.Workers) is 1, the checker calls
+// Next from multiple goroutines concurrently while expanding a frontier.
+// Next must therefore be pure up to shared state: reading captured
+// configuration is fine, mutating captured caches or globals is not.
+// Invariants and the state Constraint, by contrast, always run on the
+// single merge goroutine.
 type Action[S State] struct {
 	Name string
 	Next func(S) []S
@@ -74,17 +85,19 @@ type Graph[S State] struct {
 	Keys   []string
 	Edges  []Edge
 	Inits  []int
+
+	adjOnce sync.Once
+	adj     [][]Edge
 }
 
 // Successors returns the outgoing edges of state id, in recorded order.
+// The adjacency index is built once, on first use; callers must not append
+// further edges after querying.
 func (g *Graph[S]) Successors(id int) []Edge {
-	var out []Edge
-	for _, e := range g.Edges {
-		if e.From == id {
-			out = append(out, e)
-		}
+	if id < 0 || id >= len(g.States) {
+		return nil
 	}
-	return out
+	return g.adjacency()[id]
 }
 
 // Options configures a model-checking run.
@@ -97,10 +110,28 @@ type Options struct {
 	MaxStates int
 	// MaxDepth bounds the BFS depth (0 = unlimited).
 	MaxDepth int
+	// Workers is the number of goroutines expanding the frontier, TLC's
+	// -workers. 0 means GOMAXPROCS; 1 selects the sequential reference
+	// path. The parallel path is level-synchronized and produces results
+	// identical to the sequential path: same counters, same graph, same
+	// shortest counterexample.
+	Workers int
+	// CollisionFree makes the parallel path deduplicate on full canonical
+	// keys instead of 64-bit fingerprints, trading memory and speed for
+	// immunity to fingerprint collisions (TLC's collision-probability
+	// story: at N reachable states the chance any two collide is about
+	// N²/2⁶⁵ — around 3·10⁻⁸ for a million states — and a collision can
+	// silently prune a subtree, masking a violation). The sequential path
+	// (Workers == 1) is always collision-free regardless of this flag;
+	// set it for parallel runs whose verdict must be exact rather than
+	// exact-with-probability-1.
+	CollisionFree bool
 }
 
 // ErrStateLimit is returned when exploration hits Options.MaxStates.
 var ErrStateLimit = errors.New("tla: state limit exceeded")
+
+var errNoInit = errors.New("tla: spec has no Init")
 
 // Violation describes an invariant failure, with the shortest
 // counterexample: the sequence of states (and the actions between them)
@@ -139,9 +170,23 @@ type stateEntry struct {
 // Result. If an invariant fails, Result.Violation holds the shortest
 // counterexample and Check returns it as the error as well; exploration
 // stops at the first violation, as TLC does by default.
+//
+// With Options.Workers != 1 (the default resolves to GOMAXPROCS) the
+// exploration runs on the parallel level-synchronized path; Workers == 1
+// runs the sequential reference implementation. Both produce identical
+// results.
 func Check[S State](spec *Spec[S], opts Options) (*Result[S], error) {
+	if w := resolveWorkers(opts.Workers); w > 1 {
+		return checkParallel(spec, opts, w)
+	}
+	return checkSequential(spec, opts)
+}
+
+// checkSequential is the single-goroutine reference checker: the oracle the
+// parallel path is cross-checked against.
+func checkSequential[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 	if spec.Init == nil {
-		return nil, errors.New("tla: spec has no Init")
+		return nil, errNoInit
 	}
 	res := &Result[S]{Spec: spec.Name}
 	if opts.RecordGraph {
@@ -315,12 +360,16 @@ func (g *Graph[S]) PathTo(id int) []int {
 	return nil
 }
 
+// adjacency returns the per-state outgoing-edge index, building it lazily
+// on first use (one O(E) pass instead of a rescan per Successors call).
 func (g *Graph[S]) adjacency() [][]Edge {
-	adj := make([][]Edge, len(g.States))
-	for _, e := range g.Edges {
-		adj[e.From] = append(adj[e.From], e)
-	}
-	return adj
+	g.adjOnce.Do(func() {
+		g.adj = make([][]Edge, len(g.States))
+		for _, e := range g.Edges {
+			g.adj[e.From] = append(g.adj[e.From], e)
+		}
+	})
+	return g.adj
 }
 
 // CheckEventually verifies the temporal property "from every reachable
@@ -330,35 +379,7 @@ func (g *Graph[S]) adjacency() [][]Edge {
 // states from which no p-state is reachable). It returns the id of a
 // witness state that cannot reach any p-state, or -1 if the property holds.
 func CheckEventually[S State](g *Graph[S], p func(S) bool) int {
-	canReach := make([]bool, len(g.States))
-	// Reverse adjacency, then BFS backwards from all p-states.
-	radj := make([][]int, len(g.States))
-	for _, e := range g.Edges {
-		radj[e.To] = append(radj[e.To], e.From)
-	}
-	var queue []int
-	for id, s := range g.States {
-		if p(s) {
-			canReach[id] = true
-			queue = append(queue, id)
-		}
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, pred := range radj[cur] {
-			if !canReach[pred] {
-				canReach[pred] = true
-				queue = append(queue, pred)
-			}
-		}
-	}
-	for id := range g.States {
-		if !canReach[id] {
-			return id
-		}
-	}
-	return -1
+	return CheckEventuallyWithin(g, p, nil)
 }
 
 // CheckEventuallyWithin is CheckEventually restricted to states satisfying

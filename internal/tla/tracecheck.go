@@ -2,6 +2,7 @@ package tla
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Observation is one step of an observed execution trace. A trace event from
@@ -10,6 +11,10 @@ import (
 // the moment of the transition), so an Observation is a predicate rather
 // than a full state. Matches reports whether spec state s is consistent
 // with what was observed.
+//
+// Unless TraceOptions.Workers is 1, Matches is called from multiple
+// goroutines concurrently during the frontier advance and must not mutate
+// shared state.
 type Observation[S State] interface {
 	Matches(s S) bool
 	String() string
@@ -40,8 +45,8 @@ type TraceResult struct {
 	// several spec behaviours remain possible (Pressler's refinement
 	// technique: the missing variables are existentially quantified).
 	FrontierSizes []int
-	// Explanations[i] is the set of action names that could have produced
-	// observation i+1 from some state in frontier i (diagnostics).
+	// Explanations[i] is the sorted set of action names that could have
+	// produced observation i+1 from some state in frontier i (diagnostics).
 	Explanations [][]string
 }
 
@@ -55,6 +60,22 @@ func (e *TraceError) Error() string {
 	return fmt.Sprintf("tla: trace diverges from specification at step %d (observation %s): no specification behaviour matches", e.Step, e.Obs)
 }
 
+// TraceOptions configures a trace-checking run.
+type TraceOptions struct {
+	// Workers is the number of goroutines advancing the frontier per
+	// observation. 0 means GOMAXPROCS, 1 is fully sequential. The result
+	// is identical at any worker count.
+	Workers int
+	// Stuttering also matches an observation against the unchanged states
+	// of the current frontier (a "<stutter>" explanation). TLA+ behaviours
+	// are closed under stuttering, so a faithful trace checker must accept
+	// implementation events that changed no modelled variable.
+	Stuttering bool
+}
+
+// stutterAction is the explanation recorded for a stuttering match.
+const stutterAction = "<stutter>"
+
 // CheckTrace decides whether the observed trace is a behaviour of spec,
 // using the direct frontier method: the set of specification states
 // consistent with the trace prefix is advanced one observation at a time.
@@ -65,16 +86,44 @@ func (e *TraceError) Error() string {
 // must be reachable from some state of the current frontier by exactly one
 // action. An empty trace is trivially a behaviour.
 func CheckTrace[S State](spec *Spec[S], trace []Observation[S]) (*TraceResult, error) {
+	return CheckTraceWith(spec, trace, TraceOptions{})
+}
+
+// CheckTraceStuttering is CheckTrace with stuttering allowed: an observation
+// may also be matched by taking no action, provided it is consistent with a
+// state already in the frontier.
+func CheckTraceStuttering[S State](spec *Spec[S], trace []Observation[S]) (*TraceResult, error) {
+	return CheckTraceWith(spec, trace, TraceOptions{Stuttering: true})
+}
+
+// frontierChunk is the matched successors produced by one worker from one
+// contiguous slice of the frontier.
+type frontierChunk[S State] struct {
+	states []S
+	keys   []string
+	acts   map[string]bool
+}
+
+// CheckTraceWith is the configurable entry point behind CheckTrace and
+// CheckTraceStuttering: the frontier advance for each observation is split
+// across opts.Workers goroutines, and the per-worker matches are merged
+// into the deduplicated next frontier.
+func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOptions) (*TraceResult, error) {
 	res := &TraceResult{FailedStep: -1}
 	if len(trace) == 0 {
 		res.OK = true
 		return res, nil
 	}
+	workers := resolveWorkers(opts.Workers)
 
-	frontier := make(map[string]S)
+	var frontier []S
+	seen := make(map[string]bool)
 	for _, s := range spec.Init() {
 		if trace[0].Matches(s) {
-			frontier[s.Key()] = s
+			if k := s.Key(); !seen[k] {
+				seen[k] = true
+				frontier = append(frontier, s)
+			}
 		}
 	}
 	if len(frontier) == 0 {
@@ -85,16 +134,20 @@ func CheckTrace[S State](spec *Spec[S], trace []Observation[S]) (*TraceResult, e
 	res.FrontierSizes = append(res.FrontierSizes, len(frontier))
 
 	for i := 1; i < len(trace); i++ {
-		next := make(map[string]S)
+		chunks := advanceFrontier(spec, frontier, trace[i], opts.Stuttering, workers)
+
+		next := frontier[:0:0]
+		clear(seen)
 		actSet := make(map[string]bool)
-		for _, s := range frontier {
-			for _, a := range spec.Actions {
-				for _, succ := range a.Next(s) {
-					if trace[i].Matches(succ) {
-						next[succ.Key()] = succ
-						actSet[a.Name] = true
-					}
+		for _, ch := range chunks {
+			for j, s := range ch.states {
+				if k := ch.keys[j]; !seen[k] {
+					seen[k] = true
+					next = append(next, s)
 				}
+			}
+			for a := range ch.acts {
+				actSet[a] = true
 			}
 		}
 		if len(next) == 0 {
@@ -105,6 +158,7 @@ func CheckTrace[S State](spec *Spec[S], trace []Observation[S]) (*TraceResult, e
 		for a := range actSet {
 			acts = append(acts, a)
 		}
+		sort.Strings(acts)
 		res.Explanations = append(res.Explanations, acts)
 		frontier = next
 		res.Steps++
@@ -114,61 +168,37 @@ func CheckTrace[S State](spec *Spec[S], trace []Observation[S]) (*TraceResult, e
 	return res, nil
 }
 
-// CheckTraceStuttering is CheckTrace with stuttering allowed: an observation
-// may also be matched by taking no action, provided it is consistent with a
-// state already in the frontier. Implementations often log events that do
-// not change the modelled variables (e.g. a heartbeat that taught a node
-// nothing new); TLA+ behaviours are closed under stuttering, so a faithful
-// trace checker must accept them.
-func CheckTraceStuttering[S State](spec *Spec[S], trace []Observation[S]) (*TraceResult, error) {
-	res := &TraceResult{FailedStep: -1}
-	if len(trace) == 0 {
-		res.OK = true
-		return res, nil
-	}
-	frontier := make(map[string]S)
-	for _, s := range spec.Init() {
-		if trace[0].Matches(s) {
-			frontier[s.Key()] = s
+// advanceFrontier computes, in parallel, every successor (and, with
+// stuttering, every unchanged frontier state) consistent with obs. Chunks
+// come back in frontier order so the merged next frontier is deterministic.
+func advanceFrontier[S State](spec *Spec[S], frontier []S, obs Observation[S], stuttering bool, workers int) []frontierChunk[S] {
+	plan := planChunks(len(frontier), workers)
+	chunks := make([]frontierChunk[S], plan.nChunks)
+	plan.run(func(c, lo, hi int) {
+		ch := frontierChunk[S]{acts: make(map[string]bool)}
+		local := make(map[string]bool)
+		add := func(s S, act string) {
+			ch.acts[act] = true
+			k := s.Key()
+			if !local[k] {
+				local[k] = true
+				ch.states = append(ch.states, s)
+				ch.keys = append(ch.keys, k)
+			}
 		}
-	}
-	if len(frontier) == 0 {
-		res.FailedStep = 0
-		return res, &TraceError{Step: 0, Obs: trace[0].String()}
-	}
-	res.Steps = 1
-	res.FrontierSizes = append(res.FrontierSizes, len(frontier))
-
-	for i := 1; i < len(trace); i++ {
-		next := make(map[string]S)
-		actSet := make(map[string]bool)
-		for _, s := range frontier {
-			if trace[i].Matches(s) { // stuttering step
-				next[s.Key()] = s
-				actSet["<stutter>"] = true
+		for _, s := range frontier[lo:hi] {
+			if stuttering && obs.Matches(s) {
+				add(s, stutterAction)
 			}
 			for _, a := range spec.Actions {
 				for _, succ := range a.Next(s) {
-					if trace[i].Matches(succ) {
-						next[succ.Key()] = succ
-						actSet[a.Name] = true
+					if obs.Matches(succ) {
+						add(succ, a.Name)
 					}
 				}
 			}
 		}
-		if len(next) == 0 {
-			res.FailedStep = i
-			return res, &TraceError{Step: i, Obs: trace[i].String()}
-		}
-		acts := make([]string, 0, len(actSet))
-		for a := range actSet {
-			acts = append(acts, a)
-		}
-		res.Explanations = append(res.Explanations, acts)
-		frontier = next
-		res.Steps++
-		res.FrontierSizes = append(res.FrontierSizes, len(frontier))
-	}
-	res.OK = true
-	return res, nil
+		chunks[c] = ch
+	})
+	return chunks
 }
