@@ -262,6 +262,58 @@ func BenchmarkParallelCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelCheckEncoding isolates the byte-packed-state win on the
+// replica-set spec: the same exploration with the BinaryState fast path
+// (the default — states are fingerprinted straight from their byte
+// encoding) against Options.ForceKeyEncoding (every successor builds its
+// canonical Key() string first, the pre-BinaryState behaviour). Allocation
+// counts are the headline: the binary path must allocate strictly less
+// per run (TestBinaryEncodingAllocatesLess pins the direction; this
+// benchmark carries the magnitude).
+func BenchmarkParallelCheckEncoding(b *testing.B) {
+	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
+	for _, enc := range []struct {
+		name  string
+		force bool
+	}{{"binary", false}, {"keys", true}} {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("replset-v1/%s/workers=%d", enc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := tla.Check(raftmongo.SpecV1(cfg), tla.Options{Workers: w, ForceKeyEncoding: enc.force})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Distinct), "states")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSymmetryReduction measures TLC's SYMMETRY clause on the
+// replica-set spec: declaring the node ids interchangeable shrinks the
+// explored space by up to Nodes! (3! = 6 here) with identical verdicts —
+// the states metric carries the reduction, the time column the payoff.
+func BenchmarkSymmetryReduction(b *testing.B) {
+	for _, sym := range []bool{false, true} {
+		cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2, Symmetric: sym}
+		for name, mk := range map[string]func(raftmongo.Config) *tla.Spec[raftmongo.State]{
+			"v1": raftmongo.SpecV1, "v2": raftmongo.SpecV2,
+		} {
+			b.Run(fmt.Sprintf("raftmongo-%s/symmetry=%v", name, sym), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := tla.Check(mk(cfg), tla.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Distinct), "states")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkParallelTrace compares trace-checking worker counts on a
 // replica-set trace captured from the rollback fuzzer (the checking half of
 // the Figure 1 pipeline over a realistic replset workload).

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N]
+//	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N] [-symmetry]
 package main
 
 import (
@@ -29,8 +29,16 @@ func main() {
 		emitPath = flag.String("emit", "", "write the generated cases as a Go test file")
 		withCov  = flag.Bool("coverage", false, "print the §5.2 coverage comparison table")
 		workers  = flag.Int("workers", 0, "model-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		symmetry = flag.Bool("symmetry", false, "symmetry reduction (accepted for CLI uniformity; array_ot has none)")
 	)
 	flag.Parse()
+	if *symmetry {
+		// array_ot's clients are not interchangeable: the state-space
+		// constraint orders them by ID and operation values encode the
+		// originating client, so a client permutation is not a spec
+		// automorphism — quotienting on it would drop generated cases.
+		fmt.Fprintln(os.Stderr, "mbtcg: note: array_ot has no symmetric identities (clients act in ID order); -symmetry has no effect")
+	}
 	if err := run(*dotPath, *emitPath, *withCov, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtcg:", err)
 		os.Exit(1)

@@ -7,7 +7,7 @@
 //
 //	minitlc -spec raftmongo-v1|raftmongo-v2|arrayot|locking \
 //	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
-//	        [-dot out.dot] [-liveness] [-workers N]
+//	        [-dot out.dot] [-liveness] [-workers N] [-symmetry]
 package main
 
 import (
@@ -32,19 +32,20 @@ func main() {
 		dotPath  = flag.String("dot", "", "write the state graph as DOT to this file")
 		liveness = flag.Bool("liveness", false, "check the commit-point-propagation liveness property (raftmongo)")
 		workers  = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		symmetry = flag.Bool("symmetry", false, "symmetry reduction over interchangeable identities (raftmongo nodes, locking actors)")
 	)
 	flag.Parse()
-	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness, *workers); err != nil {
+	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness, *workers, *symmetry); err != nil {
 		fmt.Fprintln(os.Stderr, "minitlc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool, workers int) error {
+func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool, workers int, symmetry bool) error {
 	opts := tla.Options{RecordGraph: dotPath != "" || liveness, Workers: workers}
 	switch specName {
 	case "raftmongo-v1", "raftmongo-v2":
-		cfg := raftmongo.Config{Nodes: nodes, MaxTerm: maxTerm, MaxLogLen: maxLog}
+		cfg := raftmongo.Config{Nodes: nodes, MaxTerm: maxTerm, MaxLogLen: maxLog, Symmetric: symmetry}
 		spec := raftmongo.SpecV1(cfg)
 		if specName == "raftmongo-v2" {
 			spec = raftmongo.SpecV2(cfg)
@@ -65,6 +66,9 @@ func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, li
 		}
 		return dump(res.Graph, dotPath, spec.Name)
 	case "arrayot":
+		if symmetry {
+			fmt.Fprintln(os.Stderr, "minitlc: note: array_ot has no symmetric identities (clients act in ID order); -symmetry has no effect")
+		}
 		res, err := check(arrayot.Spec(arrayot.DefaultConfig()), opts)
 		if err != nil {
 			return err
@@ -74,7 +78,7 @@ func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, li
 		}
 		return dump(res.Graph, dotPath, "array_ot")
 	case "locking":
-		res, err := check(locking.Spec(locking.SpecConfig{Actors: actors}), opts)
+		res, err := check(locking.Spec(locking.SpecConfig{Actors: actors, Symmetric: symmetry}), opts)
 		if err != nil {
 			return err
 		}

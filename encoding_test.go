@@ -1,0 +1,81 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/locking"
+	"repro/internal/raftmongo"
+	"repro/internal/tla"
+)
+
+// TestBinaryEncodingAllocatesLess pins the acceptance criterion of the
+// byte-packed state encoding: on the replica-set spec, a full exploration
+// through the BinaryState fast path must allocate strictly less than the
+// identical exploration forced onto canonical Key() strings. The key path
+// is the binary path plus one fmt/strings.Builder construction per
+// successor, so the gap is structural, not noise — but the assertion stays
+// directional (strictly less), leaving the magnitude to
+// BenchmarkParallelCheckEncoding.
+func TestBinaryEncodingAllocatesLess(t *testing.T) {
+	cfg := raftmongo.Config{Nodes: 2, MaxTerm: 2, MaxLogLen: 2}
+	measure := func(force bool) float64 {
+		return testing.AllocsPerRun(3, func() {
+			res, err := tla.Check(raftmongo.SpecV1(cfg), tla.Options{Workers: 1, ForceKeyEncoding: force})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Distinct == 0 {
+				t.Fatal("no states explored")
+			}
+		})
+	}
+	binary := measure(false)
+	keys := measure(true)
+	if binary >= keys {
+		t.Fatalf("binary path allocated %.0f, key path %.0f — the fast path must allocate strictly less", binary, keys)
+	}
+	t.Logf("allocations per full check: binary=%.0f keys=%.0f (%.1fx)", binary, keys, keys/binary)
+}
+
+// TestEncodingPathsAgree cross-checks the two dedup encodings end to end:
+// byte-packed and forced-Key explorations of the replica-set and locking
+// specs must report identical state counts, transitions, depths and
+// terminal counts at 1 and 4 workers. A disagreement means an
+// AppendBinary implementation broke the Key-agreement contract in a way
+// the per-state fuzz targets did not catch.
+func TestEncodingPathsAgree(t *testing.T) {
+	check := func(name string, run func(tla.Options) (int, int, int, int)) {
+		var want [4]int
+		for i, opt := range []tla.Options{
+			{Workers: 1},
+			{Workers: 1, ForceKeyEncoding: true},
+			{Workers: 4},
+			{Workers: 4, ForceKeyEncoding: true},
+			{Workers: 4, CollisionFree: true},
+		} {
+			d, tr, dep, term := run(opt)
+			got := [4]int{d, tr, dep, term}
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s: %+v: got %v, want %v", name, opt, got, want)
+			}
+		}
+	}
+	check("raftmongo-v1", func(o tla.Options) (int, int, int, int) {
+		res, err := tla.Check(raftmongo.SpecV1(raftmongo.Config{Nodes: 2, MaxTerm: 2, MaxLogLen: 2}), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Distinct, res.Transitions, res.Depth, res.Terminal
+	})
+	check("locking", func(o tla.Options) (int, int, int, int) {
+		res, err := tla.Check(locking.Spec(locking.SpecConfig{Actors: 2}), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Distinct, res.Transitions, res.Depth, res.Terminal
+	})
+}

@@ -18,6 +18,7 @@
 package arrayot
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 
@@ -126,6 +127,21 @@ func (s State) Key() string {
 		panic(fmt.Sprintf("arrayot: unserializable state: %v", err))
 	}
 	return string(b)
+}
+
+// AppendBinary implements tla.BinaryState: the checker dedups on this
+// compact encoding instead of marshalling the JSON key per successor
+// (json.Marshal dominated the exploration profile). The JSON Key() remains
+// the semantic identity the DOT dump carries and ParseKey decodes; the two
+// encode exactly the same fields, so their equalities agree.
+func (s State) AppendBinary(buf []byte) []byte {
+	buf = s.Net.AppendBinary(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Performed)))
+	for _, n := range s.Performed {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.MergeErr)))
+	return append(buf, s.MergeErr...)
 }
 
 // ParsedState is the decoded form of a state key, used by the MBTCG

@@ -18,6 +18,17 @@ import (
 // SpecConfig bounds the locking model.
 type SpecConfig struct {
 	Actors int
+	// Symmetric declares the actors interchangeable (TLC's SYMMETRY
+	// clause): all actors start empty-handed and every action quantifies
+	// over all of them, so relabelling actors is a spec automorphism. The
+	// checker then explores one representative per actor-permutation
+	// orbit.
+	Symmetric bool
+	// OmitCompatibilityCheck models a buggy lock manager that grants
+	// without consulting the compatibility matrix. The Compatibility
+	// invariant then fails, with a known shortest counterexample — the
+	// golden-file test locks it down (testdata/compatibility_violation.golden).
+	OmitCompatibilityCheck bool
 }
 
 // SpecState is a locking specification state: for each actor, the mode it
@@ -39,6 +50,34 @@ func (s SpecState) Key() string {
 	return b.String()
 }
 
+// AppendBinary implements tla.BinaryState: one byte per (actor, level)
+// holding, mode shifted by one so the empty holding (-1) packs as 0. For a
+// fixed actor count the encoding is fixed-width and positional, hence
+// injective — it agrees with Key() by construction, and
+// FuzzBinaryKeyAgreement checks the agreement on randomized states.
+func (s SpecState) AppendBinary(buf []byte) []byte {
+	for _, h := range s.Held {
+		buf = append(buf, byte(h[0]+1), byte(h[1]+1), byte(h[2]+1))
+	}
+	return buf
+}
+
+// ActorPermutations is the spec's symmetry set: the orbit of s under every
+// non-identity permutation of the actors. With three hierarchy levels per
+// actor a permutation just reorders the rows of Held.
+func ActorPermutations(s SpecState) []SpecState {
+	n := len(s.Held)
+	var out []SpecState
+	tla.Permutations(n, func(perm []int) {
+		held := make([][3]int8, n)
+		for i, p := range perm {
+			held[p] = s.Held[i]
+		}
+		out = append(out, SpecState{Held: held})
+	})
+	return out
+}
+
 func (s SpecState) clone() SpecState {
 	return SpecState{Held: append([][3]int8(nil), s.Held...)}
 }
@@ -50,8 +89,13 @@ var resources = [3]Resource{Global, ReplState, Oplog}
 // The invariants are the MGL safety conditions.
 func Spec(cfg SpecConfig) *tla.Spec[SpecState] {
 	modes := []Mode{IS, IX, S, X}
+	var sym func(SpecState) []SpecState
+	if cfg.Symmetric {
+		sym = ActorPermutations
+	}
 	return &tla.Spec[SpecState]{
-		Name: "Locking",
+		Name:     "Locking",
+		Symmetry: sym,
 		Init: func() []SpecState {
 			held := make([][3]int8, cfg.Actors)
 			for i := range held {
@@ -85,7 +129,7 @@ func Spec(cfg SpecConfig) *tla.Spec[SpecState] {
 								continue
 							}
 						}
-						if !grantable(s, a, lvl, mode) {
+						if !cfg.OmitCompatibilityCheck && !grantable(s, a, lvl, mode) {
 							continue
 						}
 						c := s.clone()

@@ -1,0 +1,60 @@
+package mbtc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/raftmongo"
+	"repro/internal/tla"
+)
+
+// TestViolationErrorIdentity exercises the error contract a pipeline
+// caller relies on: an invariant failure from tla.Check, wrapped the way
+// this package wraps its stage errors, stays identifiable via
+// errors.Is/As — and is distinguishable from a MaxStates abort. The spec
+// under check is the trace-checking configuration (CheckConfig) with a
+// tripwire invariant appended, so the test runs against exactly the spec
+// surface mbtc hands to the checker.
+func TestViolationErrorIdentity(t *testing.T) {
+	spec := raftmongo.SpecV1(CheckConfig(3))
+	spec.Invariants = append(spec.Invariants, tla.Invariant[raftmongo.State]{
+		Name: "NothingEverCommitted",
+		Check: func(s raftmongo.State) error {
+			for _, cp := range s.CommitPoints {
+				if !cp.IsNull() {
+					return fmt.Errorf("commit point %s set", cp)
+				}
+			}
+			return nil
+		},
+	})
+	_, err := tla.Check(spec, tla.Options{})
+	if err == nil {
+		t.Fatal("tripwire invariant must be violated")
+	}
+	wrapped := fmt.Errorf("mbtc: model checking: %w", err)
+	if !errors.Is(wrapped, tla.ErrInvariantViolated) {
+		t.Fatalf("errors.Is(wrapped, ErrInvariantViolated) = false; err = %v", wrapped)
+	}
+	var v *tla.Violation[raftmongo.State]
+	if !errors.As(wrapped, &v) {
+		t.Fatalf("errors.As failed to recover the violation from %v", wrapped)
+	}
+	if v.Invariant != "NothingEverCommitted" {
+		t.Fatalf("recovered invariant %s, want NothingEverCommitted", v.Invariant)
+	}
+	if len(v.Trace) < 2 || len(v.TraceActs) != len(v.Trace)-1 {
+		t.Fatalf("malformed counterexample: %d states, %d actions", len(v.Trace), len(v.TraceActs))
+	}
+
+	// A MaxStates abort is not a violation, and must not be mistaken for
+	// one by a caller branching on errors.Is.
+	_, err = tla.Check(raftmongo.SpecV1(CheckConfig(3)), tla.Options{MaxStates: 10})
+	if !errors.Is(err, tla.ErrStateLimit) {
+		t.Fatalf("err = %v, want ErrStateLimit", err)
+	}
+	if errors.Is(err, tla.ErrInvariantViolated) {
+		t.Fatalf("state-limit abort must not match ErrInvariantViolated")
+	}
+}

@@ -1,0 +1,44 @@
+package mbtcg
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arrayot"
+	"repro/internal/ot"
+	"repro/internal/tla"
+)
+
+// TestGenerateViolationErrorIdentity: when the model check behind test
+// generation finds an invariant violation (here the legacy ArraySwap
+// non-termination of §5.1.3), the error GenerateWith returns must stay
+// identifiable through its wrap — errors.Is sees tla.ErrInvariantViolated
+// and errors.As recovers the Violation with its counterexample — so a
+// caller can distinguish "the spec is broken" from I/O or parse failures.
+func TestGenerateViolationErrorIdentity(t *testing.T) {
+	cfg := arrayot.Config{
+		Initial:      []int{1, 2, 3},
+		Clients:      2,
+		OpsPerClient: 1,
+		IncludeSwap:  true,
+		Transformer:  ot.NewTransformer(nil, true),
+	}
+	_, _, err := GenerateWith(cfg, filepath.Join(t.TempDir(), "g.dot"), 1)
+	if err == nil {
+		t.Fatal("expected the legacy-swap configuration to violate NoMergeFailure")
+	}
+	if !errors.Is(err, tla.ErrInvariantViolated) {
+		t.Fatalf("errors.Is(err, ErrInvariantViolated) = false; err = %v", err)
+	}
+	if errors.Is(err, tla.ErrStateLimit) {
+		t.Fatalf("violation error must not match ErrStateLimit: %v", err)
+	}
+	var v *tla.Violation[arrayot.State]
+	if !errors.As(err, &v) {
+		t.Fatalf("errors.As failed to recover the violation from %v", err)
+	}
+	if v.Invariant != "NoMergeFailure" || len(v.Trace) == 0 {
+		t.Fatalf("recovered violation = %+v", v)
+	}
+}

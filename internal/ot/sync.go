@@ -1,6 +1,9 @@
 package ot
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // This file implements the Realm Sync synchronization model of §2.2: a
 // central server and offline-first clients, each holding a copy of the data
@@ -95,6 +98,48 @@ func (n *Network) ClientHistory(c int) []Op {
 // ServerHistory returns a copy of the server's operation history.
 func (n *Network) ServerHistory() []Op {
 	return append([]Op(nil), n.serverLog...)
+}
+
+// AppendBinary appends a compact, uniquely decodable encoding of the whole
+// deployment — logs, states, progress — to buf and returns the extended
+// slice. Unlike the exported getters it copies nothing; it exists so
+// arrayot.State can implement the model checker's byte-packed fast path
+// without marshalling the JSON state key per successor. All sequences are
+// length-prefixed and all integers varint-encoded (signed where a field
+// could in principle be negative), so equal encodings mean equal
+// deployments.
+func (n *Network) AppendBinary(buf []byte) []byte {
+	buf = appendOpsBinary(buf, n.serverLog)
+	buf = appendIntsBinary(buf, n.serverState)
+	buf = binary.AppendUvarint(buf, uint64(len(n.clientLog)))
+	for c := range n.clientLog {
+		buf = appendOpsBinary(buf, n.clientLog[c])
+		buf = appendIntsBinary(buf, n.clientState[c])
+		buf = binary.AppendUvarint(buf, uint64(n.progress[c].ServerVersion))
+		buf = binary.AppendUvarint(buf, uint64(n.progress[c].ClientVersion))
+	}
+	return buf
+}
+
+func appendOpsBinary(buf []byte, ops []Op) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, o := range ops {
+		buf = append(buf, byte(o.Kind))
+		buf = binary.AppendVarint(buf, int64(o.Ndx))
+		buf = binary.AppendVarint(buf, int64(o.To))
+		buf = binary.AppendVarint(buf, int64(o.Value))
+		buf = binary.AppendVarint(buf, int64(o.Meta.Timestamp))
+		buf = binary.AppendVarint(buf, int64(o.Meta.Peer))
+	}
+	return buf
+}
+
+func appendIntsBinary(buf []byte, xs []int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(xs)))
+	for _, x := range xs {
+		buf = binary.AppendVarint(buf, int64(x))
+	}
+	return buf
 }
 
 // Perform executes op locally on client c: it is applied to the client

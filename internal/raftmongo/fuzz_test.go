@@ -1,0 +1,79 @@
+package raftmongo
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzReader doles out bytes from the fuzz input, returning zeros once the
+// input is exhausted, so every input decodes to some state.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *fuzzReader) intn(n int) int { return int(r.next()) % n }
+
+// stateFrom decodes an arbitrary n-node state — not necessarily reachable,
+// which is the point: the BinaryState contract (encoding equality iff Key
+// equality) must hold for any state the checker could ever be handed.
+func stateFrom(r *fuzzReader, n int) State {
+	s := State{
+		Roles:        make([]Role, n),
+		Terms:        make([]int, n),
+		CommitPoints: make([]CommitPoint, n),
+		Oplogs:       make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		s.Roles[i] = Role(r.intn(2))
+		s.Terms[i] = r.intn(4)
+		s.CommitPoints[i] = CommitPoint{Term: r.intn(4), Index: r.intn(4)}
+		log := make([]int, r.intn(4))
+		for j := range log {
+			log[j] = r.intn(4)
+		}
+		s.Oplogs[i] = log
+	}
+	return s
+}
+
+func assertEncodingAgreement(t *testing.T, a, b State) {
+	t.Helper()
+	binEq := bytes.Equal(a.AppendBinary(nil), b.AppendBinary(nil))
+	keyEq := a.Key() == b.Key()
+	if binEq != keyEq {
+		t.Fatalf("AppendBinary equality (%v) disagrees with Key equality (%v):\n a = %s\n b = %s",
+			binEq, keyEq, a.Key(), b.Key())
+	}
+}
+
+// FuzzBinaryKeyAgreement enforces the tla.BinaryState contract on the
+// replica-set spec state: for any two states, the byte-packed encodings
+// are equal if and only if the canonical Key() strings are. A violation
+// means the checker's fast path merges (or splits) states the semantic
+// identity would not — exactly the silent-wrong-answer class of bug the
+// fuzzer exists to catch.
+func FuzzBinaryKeyAgreement(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 0, 1, 2, 3, 0, 1})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		n := 1 + r.intn(3)
+		a := stateFrom(r, n)
+		b := stateFrom(r, n)
+		assertEncodingAgreement(t, a, b)
+		// The equal direction, on distinct backing arrays: a deep copy
+		// must encode identically under both schemes.
+		assertEncodingAgreement(t, a, a.clone())
+	})
+}

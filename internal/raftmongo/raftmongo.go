@@ -24,8 +24,11 @@
 package raftmongo
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
+
+	"repro/internal/tla"
 )
 
 // Role is a node's replica-set role.
@@ -105,6 +108,61 @@ func (s State) Key() string {
 
 func (s State) String() string { return s.Key() }
 
+// AppendBinary implements tla.BinaryState: a byte-packed encoding the
+// checker fingerprints directly, with no Key() string built on the hot
+// path. Per node: role byte, term, commit point (term, index), then the
+// length-prefixed oplog — all varint-encoded, so the encoding is uniquely
+// decodable for a fixed node count and therefore agrees with Key():
+// encodings are equal iff the states are (FuzzBinaryKeyAgreement enforces
+// this on randomized states).
+func (s State) AppendBinary(buf []byte) []byte {
+	for i := range s.Roles {
+		buf = append(buf, byte(s.Roles[i]))
+		buf = binary.AppendUvarint(buf, uint64(s.Terms[i]))
+		buf = binary.AppendUvarint(buf, uint64(s.CommitPoints[i].Term))
+		buf = binary.AppendUvarint(buf, uint64(s.CommitPoints[i].Index))
+		buf = binary.AppendUvarint(buf, uint64(len(s.Oplogs[i])))
+		for _, t := range s.Oplogs[i] {
+			buf = binary.AppendUvarint(buf, uint64(t))
+		}
+	}
+	return buf
+}
+
+// NodePermutations implements the spec's symmetry set (tla.Spec.Symmetry):
+// node ids are interchangeable — Init treats all nodes identically, every
+// action quantifies over all nodes, and oplog entries carry terms, never
+// node ids — so relabelling nodes maps behaviours to behaviours. It
+// returns the orbit of s under every non-identity permutation of the node
+// indices: n!-1 permuted states.
+func NodePermutations(s State) []State {
+	var out []State
+	tla.Permutations(s.NumNodes(), func(perm []int) {
+		out = append(out, permuteNodes(s, perm))
+	})
+	return out
+}
+
+// permuteNodes returns s with node i's variables moved to index perm[i].
+// Oplogs are shared, not copied: permuted states are only encoded and
+// discarded, never mutated.
+func permuteNodes(s State, perm []int) State {
+	n := s.NumNodes()
+	t := State{
+		Roles:        make([]Role, n),
+		Terms:        make([]int, n),
+		CommitPoints: make([]CommitPoint, n),
+		Oplogs:       make([][]int, n),
+	}
+	for i, p := range perm {
+		t.Roles[p] = s.Roles[i]
+		t.Terms[p] = s.Terms[i]
+		t.CommitPoints[p] = s.CommitPoints[i]
+		t.Oplogs[p] = s.Oplogs[i]
+	}
+	return t
+}
+
 // clone returns a deep copy; actions mutate the copy.
 func (s State) clone() State {
 	n := s.NumNodes()
@@ -175,6 +233,21 @@ type Config struct {
 	Nodes     int
 	MaxTerm   int
 	MaxLogLen int
+	// Symmetric declares the node ids interchangeable (TLC's SYMMETRY
+	// clause over the server set): the spec constructors attach
+	// NodePermutations, and the checker explores one representative per
+	// node-permutation orbit — up to Nodes! fewer states, identical
+	// invariant verdicts. Sound for full model checking; trace checking
+	// ignores it (observations name concrete nodes).
+	Symmetric bool
+}
+
+// symmetry returns the spec's orbit function per the config.
+func (c Config) symmetry() func(State) []State {
+	if !c.Symmetric {
+		return nil
+	}
+	return NodePermutations
 }
 
 // DefaultConfig is the configuration the paper model-checked: TLC discovers

@@ -26,6 +26,7 @@ func SpecV1(cfg Config) *tla.Spec[State] {
 			{Name: "AtMostOneLeader", Check: atMostOneLeader},
 		},
 		Constraint: cfg.constraint,
+		Symmetry:   cfg.symmetry(),
 	}
 }
 
@@ -55,6 +56,7 @@ func SpecV2(cfg Config) *tla.Spec[State] {
 			{Name: "AtMostOneLeader", Check: atMostOneLeader},
 		},
 		Constraint: cfg.constraint,
+		Symmetry:   cfg.symmetry(),
 	}
 }
 

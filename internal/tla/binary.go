@@ -1,0 +1,112 @@
+package tla
+
+import "bytes"
+
+// BinaryState is the optional fast path of the checker's deduplication: a
+// spec state that can append a compact byte encoding of itself to a buffer.
+// When a specification's state type implements BinaryState, the checker
+// fingerprints (and, in collision-free mode, dedups) the byte encoding
+// directly, bypassing Key() string construction entirely on the hot path —
+// the allocation-heavy fmt/sort work every Key() implementation pays per
+// successor. Key() remains the semantic identity: it is still what the
+// recorded Graph carries, what counterexamples print, and what the DOT
+// round-trip parses.
+//
+// The encoding must agree with Key(): for any two states of the same
+// specification, bytes.Equal(a.AppendBinary(nil), b.AppendBinary(nil)) must
+// hold if and only if a.Key() == b.Key(). (Length-prefixed or
+// self-delimiting fields make an encoding injective; the FuzzBinaryKeyAgreement
+// targets in the spec packages enforce the equivalence on randomized
+// states.) AppendBinary must append to buf and return the extended slice,
+// allocating only when buf lacks capacity; like Key, it is called from
+// multiple goroutines on distinct states and must not mutate shared state.
+type BinaryState interface {
+	AppendBinary(buf []byte) []byte
+}
+
+// Permutations calls visit with every non-identity permutation of
+// {0, …, n-1}, each exactly once (Heap's algorithm; (n!)-1 calls). It is
+// the enumeration under every Spec.Symmetry orbit function over fully
+// interchangeable identities: a spec maps each permutation to the state
+// with its identity-indexed variables relabelled. perm is reused between
+// calls; visit must not retain it.
+func Permutations(n int, visit func(perm []int)) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	c := make([]int, n)
+	for i := 0; i < n; {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			visit(perm)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// codec is the state-encoding strategy of one checking run: how a state is
+// turned into the byte string the visited set dedups on. It carries two
+// scratch buffers so the hot path allocates nothing once they have grown to
+// the state size; codecs are therefore per-goroutine (workers clone).
+type codec[S State] struct {
+	bin func(S, []byte) []byte // non-nil iff S implements BinaryState (and it is not disabled)
+	sym func(S) []S            // non-nil iff the spec declares a symmetry set
+	a   []byte                 // scratch: current canonical encoding
+	b   []byte                 // scratch: orbit-candidate encoding
+}
+
+// newCodec builds the codec for spec under opts. The BinaryState check is
+// performed once, on the zero value of S, so the per-state cost is one
+// interface conversion rather than a type switch.
+func newCodec[S State](spec *Spec[S], forceKeys bool) *codec[S] {
+	c := &codec[S]{sym: spec.Symmetry}
+	var zero S
+	if _, ok := any(zero).(BinaryState); ok && !forceKeys {
+		c.bin = func(s S, buf []byte) []byte { return any(s).(BinaryState).AppendBinary(buf) }
+	}
+	return c
+}
+
+// clone returns a codec with fresh scratch buffers, for use by another
+// goroutine.
+func (c *codec[S]) clone() *codec[S] { return &codec[S]{bin: c.bin, sym: c.sym} }
+
+// encode appends the dedup encoding of s to buf: the byte-packed encoding
+// on the fast path, the Key() bytes otherwise.
+func (c *codec[S]) encode(s S, buf []byte) []byte {
+	if c.bin != nil {
+		return c.bin(s, buf)
+	}
+	return append(buf, s.Key()...)
+}
+
+// canonical returns the encoding the visited set dedups s under: without
+// symmetry, encode(s); with symmetry, the lexicographically smallest
+// encoding across s's orbit — so every member of an orbit maps to the same
+// fingerprint and the checker explores one representative per orbit, TLC's
+// SYMMETRY reduction. The result aliases the codec's scratch buffers and is
+// valid only until the next canonical or encode call on this codec.
+func (c *codec[S]) canonical(s S) []byte {
+	c.a = c.encode(s, c.a[:0])
+	if c.sym == nil {
+		return c.a
+	}
+	min, other := c.a, c.b
+	for _, t := range c.sym(s) {
+		other = c.encode(t, other[:0])
+		if bytes.Compare(other, min) < 0 {
+			min, other = other, min
+		}
+	}
+	c.a, c.b = min, other
+	return min
+}

@@ -1,0 +1,221 @@
+package tla
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// binState is a two-counter state implementing BinaryState. The encoding
+// is fixed-width big-endian, so lexicographic comparison of encodings
+// matches numeric (A, B) comparison — which makes the orbit-minimal
+// assertions below exact.
+type binState struct{ A, B uint16 }
+
+func (s binState) Key() string { return fmt.Sprintf("%d/%d", s.A, s.B) }
+
+func (s binState) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, s.A)
+	return binary.BigEndian.AppendUint16(buf, s.B)
+}
+
+// swapOrbit declares the two counters interchangeable: the orbit of s
+// under the only non-identity permutation of {A, B}.
+func swapOrbit(s binState) []binState { return []binState{{A: s.B, B: s.A}} }
+
+// binSpec is a two-dimensional counter walk, symmetric in its counters:
+// from (a, b) either counter may be incremented up to max.
+func binSpec(max uint16, symmetric bool) *Spec[binState] {
+	spec := &Spec[binState]{
+		Name: "bincounter",
+		Init: func() []binState { return []binState{{}} },
+		Actions: []Action[binState]{
+			{Name: "IncA", Next: func(s binState) []binState {
+				if s.A >= max {
+					return nil
+				}
+				return []binState{{A: s.A + 1, B: s.B}}
+			}},
+			{Name: "IncB", Next: func(s binState) []binState {
+				if s.B >= max {
+					return nil
+				}
+				return []binState{{A: s.A, B: s.B + 1}}
+			}},
+		},
+	}
+	if symmetric {
+		spec.Symmetry = swapOrbit
+	}
+	return spec
+}
+
+// TestPermutations pins the shared orbit enumeration: (n!)-1 distinct
+// non-identity permutations, each visited exactly once.
+func TestPermutations(t *testing.T) {
+	for n, want := range map[int]int{0: 0, 1: 0, 2: 1, 3: 5, 4: 23} {
+		seen := map[string]bool{}
+		Permutations(n, func(perm []int) {
+			if len(perm) != n {
+				t.Fatalf("n=%d: perm length %d", n, len(perm))
+			}
+			identity := true
+			for i, p := range perm {
+				if p != i {
+					identity = false
+				}
+			}
+			if identity {
+				t.Fatalf("n=%d: identity visited", n)
+			}
+			k := fmt.Sprint(perm)
+			if seen[k] {
+				t.Fatalf("n=%d: permutation %s visited twice", n, k)
+			}
+			seen[k] = true
+		})
+		if len(seen) != want {
+			t.Fatalf("n=%d: visited %d permutations, want %d", n, len(seen), want)
+		}
+	}
+}
+
+// TestCodecSelectsBinaryPath pins the codec's dispatch: BinaryState
+// implementations get the byte-packed encoder, ForceKeyEncoding and
+// non-implementing states fall back to Key() bytes.
+func TestCodecSelectsBinaryPath(t *testing.T) {
+	s := binState{A: 300, B: 7}
+	c := newCodec(binSpec(5, false), false)
+	if c.bin == nil {
+		t.Fatal("BinaryState implementation not detected")
+	}
+	if !bytes.Equal(c.encode(s, nil), s.AppendBinary(nil)) {
+		t.Fatal("binary codec does not encode via AppendBinary")
+	}
+	forced := newCodec(binSpec(5, false), true)
+	if forced.bin != nil {
+		t.Fatal("ForceKeyEncoding must disable the fast path")
+	}
+	if string(forced.encode(s, nil)) != s.Key() {
+		t.Fatalf("forced codec encoded %q, want the Key bytes %q", forced.encode(s, nil), s.Key())
+	}
+	kc := newCodec(&Spec[randState]{}, false)
+	if kc.bin != nil {
+		t.Fatal("states without AppendBinary must key on Key()")
+	}
+	if got := string(kc.encode(randState(9), nil)); got != "9" {
+		t.Fatalf("key codec encoded %q, want \"9\"", got)
+	}
+}
+
+// TestCanonicalIsOrbitMinimal pins the symmetry canonicalization: every
+// member of an orbit maps to the lexicographically smallest encoding in
+// the orbit, including through a cloned (fresh-scratch) codec.
+func TestCanonicalIsOrbitMinimal(t *testing.T) {
+	c := newCodec(binSpec(5, true), false)
+	hi := binState{A: 9, B: 2}
+	lo := binState{A: 2, B: 9}
+	want := lo.AppendBinary(nil)
+	if got := c.canonical(hi); !bytes.Equal(got, want) {
+		t.Fatalf("canonical(%v) = %x, want the orbit minimum %x", hi, got, want)
+	}
+	e1 := append([]byte(nil), c.canonical(hi)...)
+	e2 := append([]byte(nil), c.canonical(lo)...)
+	if !bytes.Equal(e1, e2) {
+		t.Fatalf("orbit members canonicalize differently: %x vs %x", e1, e2)
+	}
+	if got := c.clone().canonical(hi); !bytes.Equal(got, want) {
+		t.Fatalf("cloned codec canonical(%v) = %x, want %x", hi, got, want)
+	}
+	// Without a symmetry set, canonical is just the encoding.
+	plain := newCodec(binSpec(5, false), false)
+	if got := plain.canonical(hi); !bytes.Equal(got, hi.AppendBinary(nil)) {
+		t.Fatalf("symmetry-free canonical(%v) = %x", hi, got)
+	}
+}
+
+// TestBinaryAndKeyPathsAgree checks the two dedup encodings are
+// observationally identical through the whole checker: counters, recorded
+// graph, and counterexample — sequential, parallel, and collision-free.
+func TestBinaryAndKeyPathsAgree(t *testing.T) {
+	mkSpec := func() *Spec[binState] {
+		spec := binSpec(40, false)
+		spec.Invariants = []Invariant[binState]{{
+			Name: "SumBelow60",
+			Check: func(s binState) error {
+				if int(s.A)+int(s.B) >= 60 {
+					return errors.New("sum reached 60")
+				}
+				return nil
+			},
+		}}
+		return spec
+	}
+	for _, opts := range []Options{
+		{Workers: 1, RecordGraph: true},
+		{Workers: 4, RecordGraph: true},
+		{Workers: 4, RecordGraph: true, CollisionFree: true},
+	} {
+		keyOpts := opts
+		keyOpts.ForceKeyEncoding = true
+		want, wantErr := Check(mkSpec(), keyOpts)
+		got, gotErr := Check(mkSpec(), opts)
+		assertResultsEqual(t, fmt.Sprintf("binary-vs-keys/%+v", opts), want, got, wantErr, gotErr)
+	}
+}
+
+// TestSymmetryParallelCrossCheck: the symmetry-reduced exploration must
+// stay deterministic and worker-count independent like everything else.
+func TestSymmetryParallelCrossCheck(t *testing.T) {
+	crossCheck(t, "symmetric-counter", binSpec(30, true), Options{RecordGraph: true})
+	crossCheck(t, "symmetric-counter-cf", binSpec(30, true), Options{CollisionFree: true})
+}
+
+// TestSymmetryQuotientExact pins the quotient size: the two-counter walk
+// to max has (max+1)² states, and its unordered quotient under counter
+// exchange has exactly (max+1)(max+2)/2 — one representative per orbit.
+// A symmetric tripwire invariant must be found at the same depth in both.
+func TestSymmetryQuotientExact(t *testing.T) {
+	const max = 20
+	full, err := Check(binSpec(max, false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Check(binSpec(max, true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (max + 1) * (max + 1); full.Distinct != want {
+		t.Fatalf("full space = %d states, want %d", full.Distinct, want)
+	}
+	if want := (max + 1) * (max + 2) / 2; red.Distinct != want {
+		t.Fatalf("quotient = %d states, want %d", red.Distinct, want)
+	}
+
+	trip := func(symmetric bool) *Violation[binState] {
+		spec := binSpec(max, symmetric)
+		spec.Invariants = []Invariant[binState]{{
+			Name: "SumBelow7",
+			Check: func(s binState) error {
+				if s.A+s.B >= 7 {
+					return errors.New("sum reached 7")
+				}
+				return nil
+			},
+		}}
+		res, err := Check(spec, Options{})
+		if err == nil || res.Violation == nil {
+			t.Fatalf("tripwire not violated (err=%v)", err)
+		}
+		return res.Violation
+	}
+	fv, rv := trip(false), trip(true)
+	if len(fv.Trace) != len(rv.Trace) {
+		t.Fatalf("counterexample lengths differ under symmetry: %d vs %d", len(fv.Trace)-1, len(rv.Trace)-1)
+	}
+	if fv.Invariant != rv.Invariant {
+		t.Fatalf("violated invariants differ: %s vs %s", fv.Invariant, rv.Invariant)
+	}
+}

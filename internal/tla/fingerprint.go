@@ -3,22 +3,26 @@ package tla
 import "sync"
 
 // The parallel checker deduplicates states on 64-bit fingerprints of their
-// canonical keys, as TLC does: storing 8 bytes per state instead of the
-// full key string keeps the visited set small and its probes cheap. The
+// canonical encodings, as TLC does: storing 8 bytes per state instead of
+// the full encoding keeps the visited set small and its probes cheap. The
 // price is a vanishing probability of a hash collision silently merging
 // two distinct states; Options.CollisionFree buys back exactness by
-// keying the visited set on full keys (TLC's -fpmem / collision-probability
-// trade-off, resolved the safe way).
+// keying the visited set on full encodings (TLC's -fpmem /
+// collision-probability trade-off, resolved the safe way).
+//
+// The fingerprint function consumes bytes, not strings: specs implementing
+// BinaryState are hashed straight from their byte-packed encoding with no
+// Key() string ever built (see binary.go).
 
 // fnv1a64 is the FNV-1a hash, the checker's fingerprint function.
-func fnv1a64(s string) uint64 {
+func fnv1a64(b []byte) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
 		h *= prime64
 	}
 	return h
@@ -29,8 +33,8 @@ func fnv1a64(s string) uint64 {
 var fingerprint = fnv1a64
 
 // visitedEntry is the visited set's record for one fingerprint (or full
-// key, in collision-free mode). id is the dense state id once the merge
-// phase has assigned one, or -1 while the entry is only claimed: a
+// encoding, in collision-free mode). id is the dense state id once the
+// merge phase has assigned one, or -1 while the entry is only claimed: a
 // successor generated this level whose canonical position is decided
 // during the deterministic merge.
 type visitedEntry struct {
@@ -69,21 +73,24 @@ func newVisitedSet(collisionFree bool) *visitedSet {
 	return vs
 }
 
-// claim returns the entry for key, creating it (with id -1) if the key was
-// never seen. Safe for concurrent use; the first claimant creates the
-// entry, later claimants of the same key get the same entry. Which
-// goroutine creates an entry is racy, but immaterial: ids are assigned
-// only during the sequential merge, in deterministic order.
-func (vs *visitedSet) claim(key string) *visitedEntry {
-	fp := fingerprint(key)
+// claim returns the entry for the canonical encoding enc, creating it (with
+// id -1) if it was never seen. The fingerprint selects the shard in both
+// modes; collision-free mode additionally keys the shard map on the full
+// encoding, copying it to a string only when inserting a new entry. Safe
+// for concurrent use; the first claimant creates the entry, later
+// claimants of the same encoding get the same entry. Which goroutine
+// creates an entry is racy, but immaterial: ids are assigned only during
+// the sequential merge, in deterministic order.
+func (vs *visitedSet) claim(enc []byte) *visitedEntry {
+	fp := fingerprint(enc)
 	sh := &vs.shards[fp&(visitedShards-1)]
 	sh.mu.Lock()
 	var e *visitedEntry
 	if vs.collisionFree {
-		e = sh.byKey[key]
+		e = sh.byKey[string(enc)] // no alloc: map lookup by converted []byte
 		if e == nil {
 			e = &visitedEntry{id: -1}
-			sh.byKey[key] = e
+			sh.byKey[string(enc)] = e
 		}
 	} else {
 		e = sh.byFP[fp]

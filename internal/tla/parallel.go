@@ -30,7 +30,6 @@ import (
 // candidate is one successor produced during expansion, awaiting the merge.
 type candidate[S State] struct {
 	succ  S
-	key   string
 	act   string
 	entry *visitedEntry
 }
@@ -123,6 +122,7 @@ func checkParallel[S State](spec *Spec[S], opts Options, workers int) (*Result[S
 		res.Graph = &Graph[S]{}
 	}
 
+	cod := newCodec(spec, opts.ForceKeyEncoding)
 	vs := newVisitedSet(opts.CollisionFree)
 	var entries []stateEntry
 	var states []S
@@ -131,7 +131,7 @@ func checkParallel[S State](spec *Spec[S], opts Options, workers int) (*Result[S
 	// addState installs a newly discovered state (entry.id must be -1),
 	// mirroring the sequential checker's add: id assignment, depth and
 	// graph bookkeeping, invariant checks, constraint and depth bounds.
-	addState := func(s S, key string, e *visitedEntry, parent int, act string, depth int) (*Violation[S], error) {
+	addState := func(s S, e *visitedEntry, parent int, act string, depth int) (*Violation[S], error) {
 		id := len(states)
 		if opts.MaxStates > 0 && id >= opts.MaxStates {
 			return nil, ErrStateLimit
@@ -144,7 +144,7 @@ func checkParallel[S State](spec *Spec[S], opts Options, workers int) (*Result[S
 		}
 		if res.Graph != nil {
 			res.Graph.States = append(res.Graph.States, s)
-			res.Graph.Keys = append(res.Graph.Keys, key)
+			res.Graph.Keys = append(res.Graph.Keys, s.Key())
 		}
 		for _, inv := range spec.Invariants {
 			if err := inv.Check(s); err != nil {
@@ -163,10 +163,9 @@ func checkParallel[S State](spec *Spec[S], opts Options, workers int) (*Result[S
 	}
 
 	for _, s := range spec.Init() {
-		k := s.Key()
-		e := vs.claim(k)
+		e := vs.claim(cod.canonical(s))
 		if e.id < 0 {
-			viol, err := addState(s, k, e, -1, "", 0)
+			viol, err := addState(s, e, -1, "", 0)
 			if err != nil {
 				return res, err
 			}
@@ -185,7 +184,7 @@ func checkParallel[S State](spec *Spec[S], opts Options, workers int) (*Result[S
 	}
 
 	for len(frontier) > 0 {
-		outs := expandFrontier(spec, states, frontier, vs, workers)
+		outs := expandFrontier(spec, cod, states, frontier, vs, workers)
 
 		// Merge phase: replay candidates in deterministic order.
 		expanded := frontier
@@ -210,7 +209,7 @@ func checkParallel[S State](spec *Spec[S], opts Options, workers int) (*Result[S
 					sid := c.entry.id
 					if sid < 0 {
 						var err error
-						viol, err = addState(c.succ, c.key, c.entry, id, c.act, depth+1)
+						viol, err = addState(c.succ, c.entry, id, c.act, depth+1)
 						if err != nil {
 							res.Distinct = len(states)
 							return res, err
@@ -234,29 +233,32 @@ func checkParallel[S State](spec *Spec[S], opts Options, workers int) (*Result[S
 }
 
 // expandFrontier expands every frontier state, in parallel across workers,
-// returning per-chunk candidate lists in frontier order. Workers claim each
-// successor's fingerprint in the sharded visited set so the merge phase
-// performs no hashing at all. Successors already visited in a previous
-// level (entry.id set and stable for the whole expansion phase) keep only
-// {act, entry} — the merge needs neither the state nor its key to record
-// the duplicate edge, and dropping them keeps per-level buffering near the
-// fingerprint set's 8-bytes-per-state promise.
-func expandFrontier[S State](spec *Spec[S], states []S, frontier []int, vs *visitedSet, workers int) []chunkOut[S] {
+// returning per-chunk candidate lists in frontier order. Workers encode
+// each successor through a private codec clone (byte-packed when the spec
+// implements BinaryState, canonicalized when it declares Symmetry) and
+// claim the encoding's fingerprint in the sharded visited set, so the
+// merge phase performs no encoding or hashing at all. Successors already
+// visited in a previous level (entry.id set and stable for the whole
+// expansion phase) keep only {act, entry} — the merge needs neither the
+// state nor its encoding to record the duplicate edge, and dropping them
+// keeps per-level buffering near the fingerprint set's 8-bytes-per-state
+// promise.
+func expandFrontier[S State](spec *Spec[S], cod *codec[S], states []S, frontier []int, vs *visitedSet, workers int) []chunkOut[S] {
 	plan := planChunks(len(frontier), workers)
 	outs := make([]chunkOut[S], plan.nChunks)
 	plan.run(func(c, lo, hi int) {
+		wcod := cod.clone()
 		out := chunkOut[S]{perState: make([]int, 0, hi-lo)}
 		for _, id := range frontier[lo:hi] {
 			s := states[id]
 			before := len(out.cands)
 			for _, a := range spec.Actions {
 				for _, succ := range a.Next(s) {
-					k := succ.Key()
-					e := vs.claim(k)
+					e := vs.claim(wcod.canonical(succ))
 					if e.id >= 0 {
 						out.cands = append(out.cands, candidate[S]{act: a.Name, entry: e})
 					} else {
-						out.cands = append(out.cands, candidate[S]{succ: succ, key: k, act: a.Name, entry: e})
+						out.cands = append(out.cands, candidate[S]{succ: succ, act: a.Name, entry: e})
 					}
 				}
 			}

@@ -219,7 +219,7 @@ func TestParallelRandomizedCrossCheck(t *testing.T) {
 // substituting a fingerprint function that collides every key.
 func TestFingerprintCollisions(t *testing.T) {
 	orig := fingerprint
-	fingerprint = func(string) uint64 { return 0 }
+	fingerprint = func([]byte) uint64 { return 0 }
 	defer func() { fingerprint = orig }()
 
 	// With every fingerprint identical, the default parallel path merges

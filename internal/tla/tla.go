@@ -60,13 +60,35 @@ type Invariant[S State] struct {
 // and an optional state constraint. Constraint plays the role of TLC's
 // CONSTRAINT clause: states for which it returns false are still checked
 // against invariants but their successors are not explored, bounding the
-// state space.
+// state space. Symmetry plays the role of TLC's SYMMETRY clause and lives
+// here, next to Constraint and Invariants, because like them it is a
+// property of the model, not of one checking run.
 type Spec[S State] struct {
 	Name       string
 	Init       func() []S
 	Actions    []Action[S]
 	Invariants []Invariant[S]
 	Constraint func(S) bool
+	// Symmetry, when non-nil, enables symmetry reduction: Symmetry(s) must
+	// return the full orbit of s under the symmetry group — every image of
+	// s under a non-identity permutation of the interchangeable identifiers
+	// (returning s itself too is harmless). The checker dedups each state
+	// on the minimal encoding across its orbit, so only one representative
+	// per orbit is explored: an n!-fold reduction for n fully
+	// interchangeable identities.
+	//
+	// Soundness requires the permutations to be spec automorphisms: Init,
+	// every Action, every Invariant verdict and the Constraint must be
+	// preserved by them. When they are, invariant verdicts are identical
+	// with and without reduction, and a shortest counterexample keeps its
+	// length (its states are orbit representatives of the unreduced trace;
+	// the specific identifiers appearing in it may be permuted). Distinct,
+	// Transitions, Terminal, Depth and the recorded Graph all describe the
+	// quotient space — smaller than the full one by construction.
+	//
+	// Like Next and Key, Symmetry is called from multiple goroutines
+	// concurrently unless Workers is 1.
+	Symmetry func(S) []S
 }
 
 // Edge is one transition of the recorded state graph, identifying source and
@@ -126,10 +148,23 @@ type Options struct {
 	// set it for parallel runs whose verdict must be exact rather than
 	// exact-with-probability-1.
 	CollisionFree bool
+	// ForceKeyEncoding makes the checker ignore a BinaryState
+	// implementation and dedup on canonical Key() strings as if the spec
+	// had none. It exists as the baseline for the byte-packed-encoding
+	// benchmarks and as a debugging aid when an AppendBinary
+	// implementation is suspected of violating the Key-agreement contract.
+	ForceKeyEncoding bool
 }
 
 // ErrStateLimit is returned when exploration hits Options.MaxStates.
 var ErrStateLimit = errors.New("tla: state limit exceeded")
+
+// ErrInvariantViolated is the named error all invariant failures wrap:
+// errors.Is(err, ErrInvariantViolated) reports whether a Check error is a
+// violation (as opposed to ErrStateLimit or a malformed spec), and
+// errors.As(err, &v) with v of type *Violation[S] recovers the violating
+// state and counterexample trace.
+var ErrInvariantViolated = errors.New("tla: invariant violated")
 
 var errNoInit = errors.New("tla: spec has no Init")
 
@@ -146,6 +181,10 @@ type Violation[S State] struct {
 func (v *Violation[S]) Error() string {
 	return fmt.Sprintf("invariant %s violated after %d steps: %v", v.Invariant, len(v.Trace)-1, v.Err)
 }
+
+// Unwrap makes every violation match errors.Is(err, ErrInvariantViolated)
+// and lets errors.Is/As reach the invariant's own error.
+func (v *Violation[S]) Unwrap() []error { return []error{ErrInvariantViolated, v.Err} }
 
 // Result reports a completed (or aborted) model-checking run.
 type Result[S State] struct {
@@ -183,7 +222,10 @@ func Check[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 }
 
 // checkSequential is the single-goroutine reference checker: the oracle the
-// parallel path is cross-checked against.
+// parallel path is cross-checked against. It dedups on full canonical
+// encodings (never fingerprints), so it is always collision-free; the
+// encoding itself still takes the BinaryState fast path and symmetry
+// canonicalization, through the same codec the parallel path uses.
 func checkSequential[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 	if spec.Init == nil {
 		return nil, errNoInit
@@ -193,7 +235,8 @@ func checkSequential[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 		res.Graph = &Graph[S]{}
 	}
 
-	seen := make(map[string]int) // key -> id
+	cod := newCodec(spec, opts.ForceKeyEncoding)
+	seen := make(map[string]int) // canonical encoding -> id
 	var entries []stateEntry     // by id
 	var states []S               // by id; retained for counterexamples
 	var queue []int              // ids pending expansion
@@ -209,15 +252,15 @@ func checkSequential[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 	}
 
 	add := func(s S, parent int, act string, depth int) (int, *Violation[S], error) {
-		k := s.Key()
-		if id, ok := seen[k]; ok {
+		enc := cod.canonical(s)
+		if id, ok := seen[string(enc)]; ok { // no alloc: map lookup by converted []byte
 			return id, nil, nil
 		}
 		id := len(states)
 		if opts.MaxStates > 0 && id >= opts.MaxStates {
 			return -1, nil, ErrStateLimit
 		}
-		seen[k] = id
+		seen[string(enc)] = id
 		states = append(states, s)
 		entries = append(entries, stateEntry{id: id, parent: parent, act: act, depth: depth})
 		if depth > res.Depth {
@@ -225,7 +268,7 @@ func checkSequential[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 		}
 		if res.Graph != nil {
 			res.Graph.States = append(res.Graph.States, s)
-			res.Graph.Keys = append(res.Graph.Keys, k)
+			res.Graph.Keys = append(res.Graph.Keys, s.Key())
 		}
 		if v := checkInvariants(s, id); v != nil {
 			return id, v, nil

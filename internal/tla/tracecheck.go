@@ -108,6 +108,12 @@ type frontierChunk[S State] struct {
 // CheckTraceStuttering: the frontier advance for each observation is split
 // across opts.Workers goroutines, and the per-worker matches are merged
 // into the deduplicated next frontier.
+//
+// Frontier deduplication takes the BinaryState fast path when the spec
+// state implements it, but never applies Spec.Symmetry: observations name
+// concrete identifiers (this node, that actor), so symmetric-but-distinct
+// frontier states match different future observations and must stay
+// distinct.
 func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOptions) (*TraceResult, error) {
 	res := &TraceResult{FailedStep: -1}
 	if len(trace) == 0 {
@@ -115,13 +121,14 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 		return res, nil
 	}
 	workers := resolveWorkers(opts.Workers)
+	cod := newCodec(&Spec[S]{}, false) // symmetry-free codec: binary fast path only
 
 	var frontier []S
 	seen := make(map[string]bool)
 	for _, s := range spec.Init() {
 		if trace[0].Matches(s) {
-			if k := s.Key(); !seen[k] {
-				seen[k] = true
+			if enc := cod.canonical(s); !seen[string(enc)] {
+				seen[string(enc)] = true
 				frontier = append(frontier, s)
 			}
 		}
@@ -134,7 +141,7 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 	res.FrontierSizes = append(res.FrontierSizes, len(frontier))
 
 	for i := 1; i < len(trace); i++ {
-		chunks := advanceFrontier(spec, frontier, trace[i], opts.Stuttering, workers)
+		chunks := advanceFrontier(spec, cod, frontier, trace[i], opts.Stuttering, workers)
 
 		next := frontier[:0:0]
 		clear(seen)
@@ -171,16 +178,18 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 // advanceFrontier computes, in parallel, every successor (and, with
 // stuttering, every unchanged frontier state) consistent with obs. Chunks
 // come back in frontier order so the merged next frontier is deterministic.
-func advanceFrontier[S State](spec *Spec[S], frontier []S, obs Observation[S], stuttering bool, workers int) []frontierChunk[S] {
+func advanceFrontier[S State](spec *Spec[S], cod *codec[S], frontier []S, obs Observation[S], stuttering bool, workers int) []frontierChunk[S] {
 	plan := planChunks(len(frontier), workers)
 	chunks := make([]frontierChunk[S], plan.nChunks)
 	plan.run(func(c, lo, hi int) {
+		wcod := cod.clone()
 		ch := frontierChunk[S]{acts: make(map[string]bool)}
 		local := make(map[string]bool)
 		add := func(s S, act string) {
 			ch.acts[act] = true
-			k := s.Key()
-			if !local[k] {
+			enc := wcod.canonical(s)
+			if !local[string(enc)] { // no alloc on the duplicate path
+				k := string(enc)
 				local[k] = true
 				ch.states = append(ch.states, s)
 				ch.keys = append(ch.keys, k)
