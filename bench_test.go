@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/internal/arrayot"
@@ -294,23 +295,78 @@ func BenchmarkParallelCheckEncoding(b *testing.B) {
 // BenchmarkSymmetryReduction measures TLC's SYMMETRY clause on the
 // replica-set spec: declaring the node ids interchangeable shrinks the
 // explored space by up to Nodes! (3! = 6 here) with identical verdicts —
-// the states metric carries the reduction, the time column the payoff.
+// the states metric carries the reduction, the time column the payoff,
+// and allocs/state the canonicalizer-API acceptance criterion: the
+// visitor path (symmetry=true, the spec constructors' default) must stay
+// at a flat allocation count per explored state, against the deprecated
+// materializing orbit adapter (symmetry=deprecated-orbit) whose per-state
+// allocations scale with the n!-1 images it builds.
 func BenchmarkSymmetryReduction(b *testing.B) {
-	for _, sym := range []bool{false, true} {
-		cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2, Symmetric: sym}
+	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
+	modes := []struct {
+		name  string
+		build func(mk func(raftmongo.Config) *tla.Spec[raftmongo.State]) *tla.Spec[raftmongo.State]
+	}{
+		{"false", func(mk func(raftmongo.Config) *tla.Spec[raftmongo.State]) *tla.Spec[raftmongo.State] {
+			return mk(cfg)
+		}},
+		{"true", func(mk func(raftmongo.Config) *tla.Spec[raftmongo.State]) *tla.Spec[raftmongo.State] {
+			c := cfg
+			c.Symmetric = true
+			return mk(c)
+		}},
+		{"deprecated-orbit", func(mk func(raftmongo.Config) *tla.Spec[raftmongo.State]) *tla.Spec[raftmongo.State] {
+			spec := mk(cfg)
+			spec.Symmetry = raftmongo.NodePermutations
+			return spec
+		}},
+	}
+	for _, mode := range modes {
 		for name, mk := range map[string]func(raftmongo.Config) *tla.Spec[raftmongo.State]{
 			"v1": raftmongo.SpecV1, "v2": raftmongo.SpecV2,
 		} {
-			b.Run(fmt.Sprintf("raftmongo-%s/symmetry=%v", name, sym), func(b *testing.B) {
+			b.Run(fmt.Sprintf("raftmongo-%s/symmetry=%s", name, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				var states float64
 				for i := 0; i < b.N; i++ {
-					res, err := tla.Check(mk(cfg), tla.Options{})
+					res, err := tla.Check(mode.build(mk), tla.Options{})
 					if err != nil {
 						b.Fatal(err)
 					}
+					states += float64(res.Distinct)
 					b.ReportMetric(float64(res.Distinct), "states")
+				}
+				runtime.ReadMemStats(&after)
+				if states > 0 {
+					b.ReportMetric(float64(after.Mallocs-before.Mallocs)/states, "allocs/state")
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSpillCheck measures the disk-spilling fingerprint store against
+// the fully resident one on the replica-set spec: the same exploration
+// with a budget small enough that every BFS level seals a sorted run and
+// merge-joins the next level's claims against the lot. The gap is the
+// rent for state spaces whose fingerprint set outgrows RAM.
+func BenchmarkSpillCheck(b *testing.B) {
+	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
+	for _, bench := range []struct {
+		name   string
+		budget int64
+	}{{"resident", 0}, {"forced-spill", 1}} {
+		b.Run("raftmongo-v1/"+bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := tla.Check(raftmongo.SpecV1(cfg), tla.Options{MemoryBudgetBytes: bench.budget})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Distinct), "states")
+			}
+		})
 	}
 }
 

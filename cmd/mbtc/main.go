@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mbtc -scenario write_3_and_replicate [-spec v2] [-list] [-workers N] [-symmetry]
+//	mbtc -scenario write_3_and_replicate [-spec v2] [-list] [-workers N] [-symmetry] [-mem-budget BYTES]
 //	mbtc -fuzz [-steps 400] [-seed 7] [-sync-before-writes] [-flawed]
 package main
 
@@ -35,6 +35,7 @@ func main() {
 		flawed       = flag.Bool("flawed", false, "enable the flawed initial-sync quorum rule and recent-only initial sync")
 		workers      = flag.Int("workers", 0, "trace-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry     = flag.Bool("symmetry", false, "declare node ids interchangeable on the specification (note: trace checking ignores symmetry)")
+		memBudget    = flag.Int64("mem-budget", 0, "visited-set spill budget (accepted for CLI uniformity; trace checking keeps its frontier resident)")
 	)
 	flag.Parse()
 
@@ -48,13 +49,22 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers, *symmetry); err != nil {
+	if err := run(*scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers, *symmetry, *memBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int, symmetry bool) error {
+func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int, symmetry bool, memBudget int64) error {
+	if topts := (tla.TraceOptions{Workers: workers}); topts.Validate() != nil {
+		return topts.Validate()
+	}
+	if memBudget != 0 {
+		// The flag is accepted for CLI uniformity with minitlc/mbtcg; the
+		// frontier method holds only the states consistent with the trace
+		// prefix, so there is no visited set to spill.
+		fmt.Fprintln(os.Stderr, "mbtc: note: trace checking keeps its frontier in memory; -mem-budget has no effect")
+	}
 	var (
 		cfg      replset.Config
 		workload func(*replset.Cluster) error

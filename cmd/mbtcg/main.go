@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N] [-symmetry]
+//	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N] [-symmetry] [-mem-budget BYTES]
 package main
 
 import (
@@ -21,15 +21,17 @@ import (
 	"repro/internal/mbtcg"
 	"repro/internal/ot"
 	"repro/internal/otgo"
+	"repro/internal/tla"
 )
 
 func main() {
 	var (
-		dotPath  = flag.String("dot", "array_ot.dot", "state-graph DOT output path")
-		emitPath = flag.String("emit", "", "write the generated cases as a Go test file")
-		withCov  = flag.Bool("coverage", false, "print the §5.2 coverage comparison table")
-		workers  = flag.Int("workers", 0, "model-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
-		symmetry = flag.Bool("symmetry", false, "symmetry reduction (accepted for CLI uniformity; array_ot has none)")
+		dotPath   = flag.String("dot", "array_ot.dot", "state-graph DOT output path")
+		emitPath  = flag.String("emit", "", "write the generated cases as a Go test file")
+		withCov   = flag.Bool("coverage", false, "print the §5.2 coverage comparison table")
+		workers   = flag.Int("workers", 0, "model-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		symmetry  = flag.Bool("symmetry", false, "symmetry reduction (accepted for CLI uniformity; array_ot has none)")
+		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
 	)
 	flag.Parse()
 	if *symmetry {
@@ -39,14 +41,18 @@ func main() {
 		// automorphism — quotienting on it would drop generated cases.
 		fmt.Fprintln(os.Stderr, "mbtcg: note: array_ot has no symmetric identities (clients act in ID order); -symmetry has no effect")
 	}
-	if err := run(*dotPath, *emitPath, *withCov, *workers); err != nil {
+	if err := run(*dotPath, *emitPath, *withCov, *workers, *memBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtcg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dotPath, emitPath string, withCov bool, workers int) error {
-	cases, distinct, err := mbtcg.GenerateWith(arrayot.DefaultConfig(), dotPath, workers)
+func run(dotPath, emitPath string, withCov bool, workers int, memBudget int64) error {
+	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	cases, distinct, err := mbtcg.GenerateOpts(arrayot.DefaultConfig(), dotPath, opts)
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,7 @@
 //
 //	minitlc -spec raftmongo-v1|raftmongo-v2|arrayot|locking \
 //	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
-//	        [-dot out.dot] [-liveness] [-workers N] [-symmetry]
+//	        [-dot out.dot] [-liveness] [-workers N] [-symmetry] [-mem-budget BYTES]
 package main
 
 import (
@@ -24,25 +24,29 @@ import (
 
 func main() {
 	var (
-		specName = flag.String("spec", "raftmongo-v1", "specification: raftmongo-v1, raftmongo-v2, arrayot, locking")
-		nodes    = flag.Int("nodes", 3, "replica-set size (raftmongo)")
-		maxTerm  = flag.Int("max-term", 3, "term bound (raftmongo)")
-		maxLog   = flag.Int("max-log", 3, "oplog length bound (raftmongo)")
-		actors   = flag.Int("actors", 2, "actor count (locking)")
-		dotPath  = flag.String("dot", "", "write the state graph as DOT to this file")
-		liveness = flag.Bool("liveness", false, "check the commit-point-propagation liveness property (raftmongo)")
-		workers  = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
-		symmetry = flag.Bool("symmetry", false, "symmetry reduction over interchangeable identities (raftmongo nodes, locking actors)")
+		specName  = flag.String("spec", "raftmongo-v1", "specification: raftmongo-v1, raftmongo-v2, arrayot, locking")
+		nodes     = flag.Int("nodes", 3, "replica-set size (raftmongo)")
+		maxTerm   = flag.Int("max-term", 3, "term bound (raftmongo)")
+		maxLog    = flag.Int("max-log", 3, "oplog length bound (raftmongo)")
+		actors    = flag.Int("actors", 2, "actor count (locking)")
+		dotPath   = flag.String("dot", "", "write the state graph as DOT to this file")
+		liveness  = flag.Bool("liveness", false, "check the commit-point-propagation liveness property (raftmongo)")
+		workers   = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		symmetry  = flag.Bool("symmetry", false, "symmetry reduction over interchangeable identities (raftmongo nodes, locking actors)")
+		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
 	)
 	flag.Parse()
-	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness, *workers, *symmetry); err != nil {
+	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness, *workers, *symmetry, *memBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "minitlc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool, workers int, symmetry bool) error {
-	opts := tla.Options{RecordGraph: dotPath != "" || liveness, Workers: workers}
+func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool, workers int, symmetry bool, memBudget int64) error {
+	opts := tla.Options{RecordGraph: dotPath != "" || liveness, Workers: workers, MemoryBudgetBytes: memBudget}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
 	switch specName {
 	case "raftmongo-v1", "raftmongo-v2":
 		cfg := raftmongo.Config{Nodes: nodes, MaxTerm: maxTerm, MaxLogLen: maxLog, Symmetric: symmetry}

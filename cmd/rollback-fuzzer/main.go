@@ -1,14 +1,20 @@
 // Command rollback-fuzzer runs the randomized replica-set test of §4.1
 // standalone: partitions, elections, restarts and random writes against a
 // (optionally traced) replica set, writing per-node trace logs to files —
-// one log file per node, as each mongod writes its own.
+// one log file per node, as each mongod writes its own. With -check the
+// captured trace is additionally merged and model-based trace-checked
+// against the RaftMongo specification (the Figure 1 pipeline's checking
+// half, in-process), with the same engine knobs the other CLIs take:
+// -workers, -symmetry and -mem-budget.
 //
 // Usage:
 //
-//	rollback-fuzzer [-steps 8400] [-seed 7] [-nodes 3] [-out dir] [-flawed] [-sync-before-writes]
+//	rollback-fuzzer [-steps 8400] [-seed 7] [-nodes 3] [-out dir] [-flawed] [-sync-before-writes] \
+//	                [-check] [-spec v2] [-workers N] [-symmetry] [-mem-budget BYTES]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -16,7 +22,11 @@ import (
 	"path/filepath"
 
 	"repro/internal/fuzzer"
+	"repro/internal/mbtc"
+	"repro/internal/raftmongo"
 	"repro/internal/replset"
+	"repro/internal/tla"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -24,37 +34,71 @@ func main() {
 		steps     = flag.Int("steps", 8400, "fuzzer steps")
 		seed      = flag.Int64("seed", 7, "random seed")
 		nodes     = flag.Int("nodes", 3, "replica-set size")
-		outDir    = flag.String("out", "", "directory for per-node trace logs (tracing off when empty)")
+		outDir    = flag.String("out", "", "directory for per-node trace logs (tracing off when empty, unless -check)")
 		flawed    = flag.Bool("flawed", false, "flawed initial-sync quorum + recent-only initial sync")
 		syncFirst = flag.Bool("sync-before-writes", false, "fully sync all followers before writes begin")
+		check     = flag.Bool("check", false, "trace-check the captured run against the RaftMongo specification")
+		specVar   = flag.String("spec", "v2", "specification variant for -check: v1 (global term) or v2 (gossiped terms)")
+		workers   = flag.Int("workers", 0, "trace-checker worker goroutines for -check (0 = GOMAXPROCS, 1 = sequential)")
+		symmetry  = flag.Bool("symmetry", false, "declare node ids interchangeable on the specification (note: trace checking ignores symmetry)")
+		memBudget = flag.Int64("mem-budget", 0, "visited-set spill budget (accepted for CLI uniformity; trace checking keeps its frontier resident)")
 	)
 	flag.Parse()
-	if err := run(*steps, *seed, *nodes, *outDir, *flawed, *syncFirst); err != nil {
+	if err := run(*steps, *seed, *nodes, *outDir, *flawed, *syncFirst, *check, *specVar, *workers, *symmetry, *memBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "rollback-fuzzer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(steps int, seed int64, nodes int, outDir string, flawed, syncFirst bool) error {
+func run(steps int, seed int64, nodes int, outDir string, flawed, syncFirst, check bool, specVar string, workers int, symmetry bool, memBudget int64) error {
+	topts := tla.TraceOptions{Workers: workers}
+	if err := topts.Validate(); err != nil {
+		return err
+	}
+	if symmetry {
+		// Accepted for CLI uniformity with minitlc/mbtc/mbtcg, but the
+		// frontier method cannot use it: observations name concrete nodes,
+		// so symmetric-but-distinct frontier states must stay distinct.
+		fmt.Fprintln(os.Stderr, "rollback-fuzzer: note: trace checking ignores symmetry (observations name concrete nodes)")
+	}
+	if memBudget != 0 {
+		fmt.Fprintln(os.Stderr, "rollback-fuzzer: note: trace checking keeps its frontier in memory; -mem-budget has no effect")
+	}
 	cfg := replset.Config{
 		Nodes:                   nodes,
 		Seed:                    seed,
 		RecentOnlyInitialSync:   flawed,
 		FlawedInitialSyncQuorum: flawed,
 	}
-	var files []*os.File
-	if outDir != "" {
-		if err := os.MkdirAll(outDir, 0o755); err != nil {
-			return err
-		}
+	var (
+		files []*os.File
+		bufs  []*bytes.Buffer
+	)
+	if outDir != "" || check {
 		sinks := make([]io.Writer, nodes)
-		for i := 0; i < nodes; i++ {
-			f, err := os.Create(filepath.Join(outDir, fmt.Sprintf("node%d.log", i)))
-			if err != nil {
+		if check {
+			bufs = make([]*bytes.Buffer, nodes)
+			for i := range bufs {
+				bufs[i] = &bytes.Buffer{}
+				sinks[i] = bufs[i]
+			}
+		}
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err
 			}
-			files = append(files, f)
-			sinks[i] = f
+			for i := 0; i < nodes; i++ {
+				f, err := os.Create(filepath.Join(outDir, fmt.Sprintf("node%d.log", i)))
+				if err != nil {
+					return err
+				}
+				files = append(files, f)
+				if sinks[i] != nil {
+					sinks[i] = io.MultiWriter(f, sinks[i])
+				} else {
+					sinks[i] = f
+				}
+			}
 		}
 		cfg.TraceSinks = sinks
 	}
@@ -82,5 +126,47 @@ func run(steps int, seed int64, nodes int, outDir string, flawed, syncFirst bool
 	if outDir != "" {
 		fmt.Printf("trace logs in %s\n", outDir)
 	}
+	if !check {
+		return nil
+	}
+	return checkTrace(nodes, bufs, specVar, topts)
+}
+
+// checkTrace merges the per-node logs and runs the trace checker — the
+// same path mbtc -fuzz takes, minus the second fuzzer run.
+func checkTrace(nodes int, bufs []*bytes.Buffer, specVar string, topts tla.TraceOptions) error {
+	streams := make([][]trace.Event, nodes)
+	for i, b := range bufs {
+		evs, err := trace.ReadEvents(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			return err
+		}
+		streams[i] = evs
+	}
+	merged, err := trace.Merge(streams)
+	if err != nil {
+		return err
+	}
+	ccfg := mbtc.CheckConfig(nodes)
+	var spec *tla.Spec[raftmongo.State]
+	switch specVar {
+	case "v1":
+		spec = raftmongo.SpecV1(ccfg)
+	case "v2":
+		spec = raftmongo.SpecV2(ccfg)
+	default:
+		return fmt.Errorf("unknown spec variant %q", specVar)
+	}
+	crep, err := mbtc.CheckEventsOpts(nodes, merged, spec, topts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace check against RaftMongo %s: %d events, %d oplog prefix fills, max frontier %d\n",
+		specVar, crep.Events, crep.PrefixFills, crep.MaxFrontier)
+	if crep.OK {
+		fmt.Println("MBTC PASS: the trace is a behaviour of the specification")
+		return nil
+	}
+	fmt.Printf("MBTC FAIL: trace diverges at step %d of %d (%s)\n", crep.FailedStep, crep.Events, crep.FailedEvent)
 	return nil
 }

@@ -37,6 +37,43 @@ func TestBinaryEncodingAllocatesLess(t *testing.T) {
 	t.Logf("allocations per full check: binary=%.0f keys=%.0f (%.1fx)", binary, keys, keys/binary)
 }
 
+// TestSymmetryVisitorAllocatesLess pins the acceptance criterion of the
+// canonicalizer migration: on the symmetric replica-set spec, a full
+// exploration through the orbit-visitor path (one scratch state per
+// worker, images encoded in place) must allocate strictly less than the
+// identical exploration through the deprecated materializing
+// Spec.Symmetry adapter, which builds n!-1 permuted states per successor
+// encoded. The gap is structural — the adapter's per-state allocations
+// scale with the orbit, the visitor's do not — but the assertion stays
+// directional, leaving the magnitude to BenchmarkSymmetryReduction.
+func TestSymmetryVisitorAllocatesLess(t *testing.T) {
+	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 1, MaxLogLen: 2}
+	measure := func(deprecated bool) float64 {
+		return testing.AllocsPerRun(3, func() {
+			symCfg := cfg
+			symCfg.Symmetric = true
+			spec := raftmongo.SpecV1(symCfg)
+			if deprecated {
+				spec.SymmetryVisitor = nil
+				spec.Symmetry = raftmongo.NodePermutations
+			}
+			res, err := tla.Check(spec, tla.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Distinct == 0 {
+				t.Fatal("no states explored")
+			}
+		})
+	}
+	visitor := measure(false)
+	orbit := measure(true)
+	if visitor >= orbit {
+		t.Fatalf("visitor path allocated %.0f, materializing orbit path %.0f — the canonicalizer must allocate strictly less", visitor, orbit)
+	}
+	t.Logf("allocations per symmetric check: visitor=%.0f orbit=%.0f (%.1fx)", visitor, orbit, orbit/visitor)
+}
+
 // TestEncodingPathsAgree cross-checks the two dedup encodings end to end:
 // byte-packed and forced-Key explorations of the replica-set and locking
 // specs must report identical state counts, transitions, depths and
@@ -52,6 +89,7 @@ func TestEncodingPathsAgree(t *testing.T) {
 			{Workers: 4},
 			{Workers: 4, ForceKeyEncoding: true},
 			{Workers: 4, CollisionFree: true},
+			{Workers: 4, MemoryBudgetBytes: 1},
 		} {
 			d, tr, dep, term := run(opt)
 			got := [4]int{d, tr, dep, term}

@@ -62,9 +62,42 @@ func (s SpecState) AppendBinary(buf []byte) []byte {
 	return buf
 }
 
-// ActorPermutations is the spec's symmetry set: the orbit of s under every
-// non-identity permutation of the actors. With three hierarchy levels per
-// actor a permutation just reorders the rows of Held.
+// ActorOrbits is the spec's symmetry declaration
+// (tla.Spec.SymmetryVisitor): each call returns a fresh per-worker
+// enumerator that visits the orbit of a state under every non-identity
+// permutation of the actors. With three hierarchy levels per actor a
+// permutation just reorders the rows of Held, so every image is built in
+// one scratch state the enumerator reuses — the images are only encoded,
+// never retained.
+func ActorOrbits() tla.OrbitVisitor[SpecState] {
+	var (
+		scratch SpecState
+		perms   tla.Permuter
+		cur     SpecState // state being enumerated, parked for apply
+		emit    func(SpecState)
+	)
+	// apply is bound once: the per-state hot path allocates no closures.
+	apply := func(perm []int) {
+		for i, p := range perm {
+			scratch.Held[p] = cur.Held[i]
+		}
+		emit(scratch)
+	}
+	return func(s SpecState, visit func(SpecState)) {
+		n := len(s.Held)
+		if len(scratch.Held) != n {
+			scratch.Held = make([][3]int8, n)
+		}
+		cur, emit = s, visit
+		perms.Visit(n, apply)
+	}
+}
+
+// ActorPermutations is the materializing predecessor of ActorOrbits: the
+// orbit of s as (actors!)-1 freshly allocated states.
+//
+// Deprecated: use ActorOrbits (Spec already does); this remains only as
+// the reference implementation the visitor is property-tested against.
 func ActorPermutations(s SpecState) []SpecState {
 	n := len(s.Held)
 	var out []SpecState
@@ -89,13 +122,13 @@ var resources = [3]Resource{Global, ReplState, Oplog}
 // The invariants are the MGL safety conditions.
 func Spec(cfg SpecConfig) *tla.Spec[SpecState] {
 	modes := []Mode{IS, IX, S, X}
-	var sym func(SpecState) []SpecState
+	var sym func() tla.OrbitVisitor[SpecState]
 	if cfg.Symmetric {
-		sym = ActorPermutations
+		sym = ActorOrbits
 	}
 	return &tla.Spec[SpecState]{
-		Name:     "Locking",
-		Symmetry: sym,
+		Name:            "Locking",
+		SymmetryVisitor: sym,
 		Init: func() []SpecState {
 			held := make([][3]int8, cfg.Actors)
 			for i := range held {

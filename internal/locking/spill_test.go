@@ -1,0 +1,67 @@
+package locking
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/tla"
+)
+
+// TestSpillMatchesInMemory forces the disk-spilling fingerprint store on
+// the locking spec with a one-byte budget — every BFS level seals a sorted
+// run, every later level merge-joins against all of them — and asserts the
+// run is observationally identical to the in-memory store: same counters
+// on the clean lock manager, and for the deliberately broken one
+// (OmitCompatibilityCheck) the same Compatibility violation with a
+// byte-identical shortest counterexample, at 1, 2 and 4 workers, with and
+// without symmetry reduction.
+func TestSpillMatchesInMemory(t *testing.T) {
+	traceKeys := func(v *tla.Violation[SpecState]) []string {
+		if v == nil {
+			return nil
+		}
+		keys := make([]string, len(v.Trace))
+		for i, s := range v.Trace {
+			keys[i] = s.Key()
+		}
+		return keys
+	}
+	for _, actors := range []int{2, 3} {
+		for _, sym := range []bool{false, true} {
+			for _, omit := range []bool{false, true} {
+				cfg := SpecConfig{Actors: actors, Symmetric: sym, OmitCompatibilityCheck: omit}
+				mem, memErr := tla.Check(Spec(cfg), tla.Options{Workers: 2})
+				for _, w := range []int{1, 2, 4} {
+					desc := fmt.Sprintf("actors=%d sym=%v omit=%v workers=%d", actors, sym, omit, w)
+					spill, spillErr := tla.Check(Spec(cfg), tla.Options{Workers: w, MemoryBudgetBytes: 1})
+					if (memErr == nil) != (spillErr == nil) {
+						t.Fatalf("%s: verdicts differ: mem err=%v spill err=%v", desc, memErr, spillErr)
+					}
+					if mem.Distinct != spill.Distinct || mem.Transitions != spill.Transitions ||
+						mem.Depth != spill.Depth || mem.Terminal != spill.Terminal {
+						t.Fatalf("%s: counters differ:\n mem   %+v\n spill %+v", desc, mem, spill)
+					}
+					if (mem.Violation == nil) != (spill.Violation == nil) {
+						t.Fatalf("%s: violation presence differs", desc)
+					}
+					if mem.Violation == nil {
+						continue
+					}
+					if mem.Violation.Invariant != spill.Violation.Invariant {
+						t.Fatalf("%s: violated invariants differ: %s vs %s",
+							desc, mem.Violation.Invariant, spill.Violation.Invariant)
+					}
+					if !reflect.DeepEqual(traceKeys(mem.Violation), traceKeys(spill.Violation)) {
+						t.Fatalf("%s: counterexample traces differ:\n mem   %v\n spill %v",
+							desc, traceKeys(mem.Violation), traceKeys(spill.Violation))
+					}
+					if !reflect.DeepEqual(mem.Violation.TraceActs, spill.Violation.TraceActs) {
+						t.Fatalf("%s: counterexample actions differ:\n mem   %v\n spill %v",
+							desc, mem.Violation.TraceActs, spill.Violation.TraceActs)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,10 +1,38 @@
 package locking
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/tla"
 )
+
+// TestActorOrbitsMatchesPermutations is the migration property test: the
+// scratch-reusing orbit visitor must visit exactly the images the
+// deprecated materializing ActorPermutations allocates, in the same order,
+// on randomized holdings of 2..4 actors.
+func TestActorOrbitsMatchesPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	visit := ActorOrbits()
+	for i := 0; i < 200; i++ {
+		s := SpecState{Held: make([][3]int8, 2+rng.Intn(3))}
+		for a := range s.Held {
+			for lvl := 0; lvl < 3; lvl++ {
+				s.Held[a][lvl] = int8(rng.Intn(6) - 1)
+			}
+		}
+		var want []string
+		for _, img := range ActorPermutations(s) {
+			want = append(want, img.Key())
+		}
+		var got []string
+		visit(s, func(img SpecState) { got = append(got, img.Key()) })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d (%s): visitor orbit %v, want %v", i, s.Key(), got, want)
+		}
+	}
+}
 
 // TestSymmetryReductionSound checks the actor-permutation symmetry is
 // sound on the locking spec: for every small configuration — including the

@@ -123,12 +123,23 @@ func CheckEvents(nodes int, events []trace.Event, spec *tla.Spec[raftmongo.State
 // CheckEventsWith is CheckEvents with an explicit checker worker count
 // (0 = GOMAXPROCS, 1 = sequential).
 func CheckEventsWith(nodes int, events []trace.Event, spec *tla.Spec[raftmongo.State], workers int) (*Report, error) {
+	return CheckEventsOpts(nodes, events, spec, tla.TraceOptions{Workers: workers})
+}
+
+// CheckEventsOpts is CheckEvents with full trace-checker options — the
+// hook the CLIs thread their engine knobs through. Options the frontier
+// method cannot honour (symmetry: observations name concrete nodes) do
+// not exist on TraceOptions by construction.
+func CheckEventsOpts(nodes int, events []trace.Event, spec *tla.Spec[raftmongo.State], topts tla.TraceOptions) (*Report, error) {
 	processed, err := trace.Process(nodes, events, trace.ProcessOptions{FillOplogPrefixes: true})
 	if err != nil {
 		return nil, fmt.Errorf("mbtc: post-processing: %w", err)
 	}
 	obs := ObservationsFromProcessed(nodes, events, processed)
-	res, checkErr := tla.CheckTraceWith(spec, obs, tla.TraceOptions{Workers: workers})
+	res, checkErr := tla.CheckTraceWith(spec, obs, topts)
+	if res == nil { // rejected before exploring anything (invalid options)
+		return nil, checkErr
+	}
 	rep := &Report{
 		Events:        len(events),
 		PrefixFills:   processed.PrefixFill,

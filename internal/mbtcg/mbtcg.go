@@ -55,7 +55,17 @@ func Generate(cfg arrayot.Config, dotPath string) ([]TestCase, int, error) {
 // (0 = GOMAXPROCS, 1 = sequential). The generated cases are identical at
 // any worker count: the parallel checker records the same graph.
 func GenerateWith(cfg arrayot.Config, dotPath string, workers int) ([]TestCase, int, error) {
-	res, err := tla.Check(arrayot.Spec(cfg), tla.Options{RecordGraph: true, Workers: workers})
+	return GenerateOpts(cfg, dotPath, tla.Options{Workers: workers})
+}
+
+// GenerateOpts is Generate with full checker options — worker count,
+// memory budget, store plugs. RecordGraph is forced on: the pipeline is
+// the graph dump. The cases are identical under every option combination
+// the engine accepts; a MemoryBudgetBytes lets the model-checking half run
+// in bounded memory, spilling fingerprint shards to disk.
+func GenerateOpts(cfg arrayot.Config, dotPath string, opts tla.Options) ([]TestCase, int, error) {
+	opts.RecordGraph = true
+	res, err := tla.Check(arrayot.Spec(cfg), opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("mbtcg: model checking failed: %w", err)
 	}

@@ -129,12 +129,53 @@ func (s State) AppendBinary(buf []byte) []byte {
 	return buf
 }
 
-// NodePermutations implements the spec's symmetry set (tla.Spec.Symmetry):
+// NodeOrbits is the spec's symmetry declaration (tla.Spec.SymmetryVisitor):
 // node ids are interchangeable — Init treats all nodes identically, every
 // action quantifies over all nodes, and oplog entries carry terms, never
-// node ids — so relabelling nodes maps behaviours to behaviours. It
-// returns the orbit of s under every non-identity permutation of the node
-// indices: n!-1 permuted states.
+// node ids — so relabelling nodes maps behaviours to behaviours. Each call
+// returns a fresh per-worker enumerator that visits the n!-1 non-identity
+// images of a state, building every image in one scratch state it reuses
+// across calls (oplogs are aliased, not copied: images are only encoded,
+// never retained or mutated), so symmetric exploration allocates nothing
+// per state beyond the scratch's one-time growth.
+func NodeOrbits() tla.OrbitVisitor[State] {
+	var (
+		scratch State
+		perms   tla.Permuter
+		cur     State // state being enumerated, parked for apply
+		emit    func(State)
+	)
+	// apply is bound once: the per-state hot path allocates no closures.
+	apply := func(perm []int) {
+		for i, p := range perm {
+			scratch.Roles[p] = cur.Roles[i]
+			scratch.Terms[p] = cur.Terms[i]
+			scratch.CommitPoints[p] = cur.CommitPoints[i]
+			scratch.Oplogs[p] = cur.Oplogs[i]
+		}
+		emit(scratch)
+	}
+	return func(s State, visit func(State)) {
+		n := s.NumNodes()
+		if len(scratch.Roles) != n {
+			scratch = State{
+				Roles:        make([]Role, n),
+				Terms:        make([]int, n),
+				CommitPoints: make([]CommitPoint, n),
+				Oplogs:       make([][]int, n),
+			}
+		}
+		cur, emit = s, visit
+		perms.Visit(n, apply)
+	}
+}
+
+// NodePermutations is the materializing predecessor of NodeOrbits: the
+// orbit of s as n!-1 freshly allocated permuted states.
+//
+// Deprecated: use NodeOrbits (the spec constructors already do); this
+// remains only as the reference implementation the visitor is property-
+// tested against.
 func NodePermutations(s State) []State {
 	var out []State
 	tla.Permutations(s.NumNodes(), func(perm []int) {
@@ -235,19 +276,20 @@ type Config struct {
 	MaxLogLen int
 	// Symmetric declares the node ids interchangeable (TLC's SYMMETRY
 	// clause over the server set): the spec constructors attach
-	// NodePermutations, and the checker explores one representative per
+	// NodeOrbits, and the checker explores one representative per
 	// node-permutation orbit — up to Nodes! fewer states, identical
 	// invariant verdicts. Sound for full model checking; trace checking
 	// ignores it (observations name concrete nodes).
 	Symmetric bool
 }
 
-// symmetry returns the spec's orbit function per the config.
-func (c Config) symmetry() func(State) []State {
+// symmetry returns the spec's per-worker orbit-enumerator factory per the
+// config.
+func (c Config) symmetry() func() tla.OrbitVisitor[State] {
 	if !c.Symmetric {
 		return nil
 	}
-	return NodePermutations
+	return NodeOrbits
 }
 
 // DefaultConfig is the configuration the paper model-checked: TLC discovers

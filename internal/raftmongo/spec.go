@@ -25,8 +25,8 @@ func SpecV1(cfg Config) *tla.Spec[State] {
 			{Name: "OneLeaderPerTerm", Check: oneLeaderPerTerm},
 			{Name: "AtMostOneLeader", Check: atMostOneLeader},
 		},
-		Constraint: cfg.constraint,
-		Symmetry:   cfg.symmetry(),
+		Constraint:      cfg.constraint,
+		SymmetryVisitor: cfg.symmetry(),
 	}
 }
 
@@ -55,8 +55,8 @@ func SpecV2(cfg Config) *tla.Spec[State] {
 			{Name: "OneLeaderPerTerm", Check: oneLeaderPerTerm},
 			{Name: "AtMostOneLeader", Check: atMostOneLeader},
 		},
-		Constraint: cfg.constraint,
-		Symmetry:   cfg.symmetry(),
+		Constraint:      cfg.constraint,
+		SymmetryVisitor: cfg.symmetry(),
 	}
 }
 

@@ -24,18 +24,29 @@ type BinaryState interface {
 	AppendBinary(buf []byte) []byte
 }
 
-// Permutations calls visit with every non-identity permutation of
-// {0, …, n-1}, each exactly once (Heap's algorithm; (n!)-1 calls). It is
-// the enumeration under every Spec.Symmetry orbit function over fully
-// interchangeable identities: a spec maps each permutation to the state
-// with its identity-indexed variables relabelled. perm is reused between
-// calls; visit must not retain it.
-func Permutations(n int, visit func(perm []int)) {
-	perm := make([]int, n)
+// Permuter enumerates non-identity permutations, reusing its internal
+// buffers across calls: the per-enumeration allocations of the plain
+// Permutations function, amortized to zero. An OrbitVisitor closure keeps
+// one Permuter next to its scratch state — a Permuter, like the visitor
+// owning it, must not be shared between goroutines. The zero value is
+// ready to use.
+type Permuter struct {
+	perm, c []int
+}
+
+// Visit calls visit with every non-identity permutation of {0, …, n-1},
+// each exactly once (Heap's algorithm; (n!)-1 calls). perm is reused
+// between calls and enumerations; visit must not retain it.
+func (p *Permuter) Visit(n int, visit func(perm []int)) {
+	if cap(p.perm) < n {
+		p.perm = make([]int, n)
+		p.c = make([]int, n)
+	}
+	perm, c := p.perm[:n], p.c[:n]
 	for i := range perm {
 		perm[i] = i
+		c[i] = 0
 	}
-	c := make([]int, n)
 	for i := 0; i < n; {
 		if c[i] < i {
 			if i%2 == 0 {
@@ -53,32 +64,88 @@ func Permutations(n int, visit func(perm []int)) {
 	}
 }
 
+// Permutations calls visit with every non-identity permutation of
+// {0, …, n-1}, each exactly once. It is the enumeration under every
+// symmetry orbit over fully interchangeable identities: a spec maps each
+// permutation to the state with its identity-indexed variables relabelled.
+// It allocates its scratch per call — orbit visitors on the checker's hot
+// path hold a Permuter instead.
+func Permutations(n int, visit func(perm []int)) {
+	var p Permuter
+	p.Visit(n, visit)
+}
+
 // codec is the state-encoding strategy of one checking run: how a state is
-// turned into the byte string the visited set dedups on. It carries two
-// scratch buffers so the hot path allocates nothing once they have grown to
-// the state size; codecs are therefore per-goroutine (workers clone).
+// turned into the byte string the visited store dedups on. It carries two
+// scratch buffers (plus the worker's orbit enumerator and one pre-bound
+// visit closure) so the hot path allocates nothing once the buffers have
+// grown to the state size; codecs are therefore per-goroutine (workers
+// clone, and each clone gets its own enumerator from the spec's factory).
 type codec[S State] struct {
-	bin func(S, []byte) []byte // non-nil iff S implements BinaryState (and it is not disabled)
-	sym func(S) []S            // non-nil iff the spec declares a symmetry set
-	a   []byte                 // scratch: current canonical encoding
-	b   []byte                 // scratch: orbit-candidate encoding
+	bin        func(S, []byte) []byte // non-nil iff S implements BinaryState (and it is not disabled)
+	symFactory func() OrbitVisitor[S] // non-nil iff the spec declares symmetry; per-clone source of sym
+	sym        OrbitVisitor[S]        // this goroutine's orbit enumerator
+	visit      func(S)                // pre-bound orbit-minimization step, allocated once per codec
+	a          []byte                 // scratch: current canonical (orbit-minimal) encoding
+	b          []byte                 // scratch: orbit-candidate encoding
 }
 
 // newCodec builds the codec for spec under opts. The BinaryState check is
 // performed once, on the zero value of S, so the per-state cost is one
 // interface conversion rather than a type switch.
 func newCodec[S State](spec *Spec[S], forceKeys bool) *codec[S] {
-	c := &codec[S]{sym: spec.Symmetry}
+	c := &codec[S]{symFactory: symmetryFactory(spec)}
 	var zero S
 	if _, ok := any(zero).(BinaryState); ok && !forceKeys {
 		c.bin = func(s S, buf []byte) []byte { return any(s).(BinaryState).AppendBinary(buf) }
 	}
+	c.bindOrbit()
 	return c
 }
 
-// clone returns a codec with fresh scratch buffers, for use by another
-// goroutine.
-func (c *codec[S]) clone() *codec[S] { return &codec[S]{bin: c.bin, sym: c.sym} }
+// symmetryFactory resolves the spec's symmetry declaration to a per-worker
+// enumerator factory: SymmetryVisitor as-is, or the deprecated
+// materializing Symmetry wrapped into a visitor with identical semantics.
+func symmetryFactory[S State](spec *Spec[S]) func() OrbitVisitor[S] {
+	switch {
+	case spec.SymmetryVisitor != nil:
+		return spec.SymmetryVisitor
+	case spec.Symmetry != nil:
+		orbit := spec.Symmetry
+		return func() OrbitVisitor[S] {
+			return func(s S, visit func(S)) {
+				for _, t := range orbit(s) {
+					visit(t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// bindOrbit instantiates this codec's enumerator and the visit closure it
+// feeds. Binding once here keeps canonical free of per-state closure
+// allocations.
+func (c *codec[S]) bindOrbit() {
+	if c.symFactory == nil {
+		return
+	}
+	c.sym = c.symFactory()
+	c.visit = func(t S) {
+		c.b = c.encode(t, c.b[:0])
+		if bytes.Compare(c.b, c.a) < 0 {
+			c.a, c.b = c.b, c.a
+		}
+	}
+}
+
+// clone returns a codec with fresh scratch buffers and its own orbit
+// enumerator, for use by another goroutine.
+func (c *codec[S]) clone() *codec[S] {
+	n := &codec[S]{bin: c.bin, symFactory: c.symFactory}
+	n.bindOrbit()
+	return n
+}
 
 // encode appends the dedup encoding of s to buf: the byte-packed encoding
 // on the fast path, the Key() bytes otherwise.
@@ -89,7 +156,7 @@ func (c *codec[S]) encode(s S, buf []byte) []byte {
 	return append(buf, s.Key()...)
 }
 
-// canonical returns the encoding the visited set dedups s under: without
+// canonical returns the encoding the visited store dedups s under: without
 // symmetry, encode(s); with symmetry, the lexicographically smallest
 // encoding across s's orbit — so every member of an orbit maps to the same
 // fingerprint and the checker explores one representative per orbit, TLC's
@@ -100,13 +167,6 @@ func (c *codec[S]) canonical(s S) []byte {
 	if c.sym == nil {
 		return c.a
 	}
-	min, other := c.a, c.b
-	for _, t := range c.sym(s) {
-		other = c.encode(t, other[:0])
-		if bytes.Compare(other, min) < 0 {
-			min, other = other, min
-		}
-	}
-	c.a, c.b = min, other
-	return min
+	c.sym(s, c.visit)
+	return c.a
 }

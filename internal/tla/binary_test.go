@@ -25,8 +25,21 @@ func (s binState) AppendBinary(buf []byte) []byte {
 // under the only non-identity permutation of {A, B}.
 func swapOrbit(s binState) []binState { return []binState{{A: s.B, B: s.A}} }
 
+// swapOrbits is the visitor-shaped equivalent of swapOrbit: one scratch
+// state, reused for every image.
+func swapOrbits() OrbitVisitor[binState] {
+	var scratch binState
+	return func(s binState, visit func(binState)) {
+		scratch.A, scratch.B = s.B, s.A
+		visit(scratch)
+	}
+}
+
 // binSpec is a two-dimensional counter walk, symmetric in its counters:
-// from (a, b) either counter may be incremented up to max.
+// from (a, b) either counter may be incremented up to max. The symmetric
+// variant declares it through the deprecated materializing Symmetry field,
+// exercising the adapter; binSpecVisitor declares the same symmetry
+// through the canonicalizer API.
 func binSpec(max uint16, symmetric bool) *Spec[binState] {
 	spec := &Spec[binState]{
 		Name: "bincounter",
@@ -50,6 +63,58 @@ func binSpec(max uint16, symmetric bool) *Spec[binState] {
 		spec.Symmetry = swapOrbit
 	}
 	return spec
+}
+
+func binSpecVisitor(max uint16) *Spec[binState] {
+	spec := binSpec(max, false)
+	spec.SymmetryVisitor = swapOrbits
+	return spec
+}
+
+// TestSymmetryVisitorMatchesDeprecatedOrbit pins the migration contract:
+// the visitor-shaped SymmetryVisitor and the deprecated materializing
+// Symmetry field quotient the space identically — same counters, same
+// graph, same counterexample — at every worker count, and SymmetryVisitor
+// wins when both are set.
+func TestSymmetryVisitorMatchesDeprecatedOrbit(t *testing.T) {
+	mk := func(visitor bool) *Spec[binState] {
+		spec := binSpec(25, !visitor)
+		if visitor {
+			spec.SymmetryVisitor = swapOrbits
+		}
+		spec.Invariants = []Invariant[binState]{{
+			Name: "SumBelow40",
+			Check: func(s binState) error {
+				if int(s.A)+int(s.B) >= 40 {
+					return errors.New("sum reached 40")
+				}
+				return nil
+			},
+		}}
+		return spec
+	}
+	for _, w := range []int{1, 4} {
+		opts := Options{RecordGraph: true, Workers: w}
+		want, wantErr := Check(mk(false), opts)
+		got, gotErr := Check(mk(true), opts)
+		assertResultsEqual(t, fmt.Sprintf("visitor-vs-orbit/workers=%d", w), want, got, wantErr, gotErr)
+	}
+
+	both := binSpec(10, true)
+	both.SymmetryVisitor = func() OrbitVisitor[binState] {
+		return func(s binState, visit func(binState)) {} // identity-only: no reduction
+	}
+	res, err := Check(both, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Check(binSpec(10, false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinct != full.Distinct {
+		t.Fatalf("SymmetryVisitor must take precedence over the deprecated field: explored %d states, want the unreduced %d", res.Distinct, full.Distinct)
+	}
 }
 
 // TestPermutations pins the shared orbit enumeration: (n!)-1 distinct
@@ -171,6 +236,8 @@ func TestBinaryAndKeyPathsAgree(t *testing.T) {
 func TestSymmetryParallelCrossCheck(t *testing.T) {
 	crossCheck(t, "symmetric-counter", binSpec(30, true), Options{RecordGraph: true})
 	crossCheck(t, "symmetric-counter-cf", binSpec(30, true), Options{CollisionFree: true})
+	crossCheck(t, "symmetric-counter-visitor", binSpecVisitor(30), Options{RecordGraph: true})
+	crossCheck(t, "symmetric-counter-visitor-spill", binSpecVisitor(30), Options{MemoryBudgetBytes: 1})
 }
 
 // TestSymmetryQuotientExact pins the quotient size: the two-counter walk

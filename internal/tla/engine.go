@@ -1,0 +1,348 @@
+package tla
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The exploration engine is a level-synchronized BFS in the style of TLC's
+// multi-worker mode, parameterized by a VisitedStore (deduplication) and a
+// FrontierStore (pending work) — see store.go. Each level alternates two
+// phases:
+//
+//   - Expansion (parallel): the frontier is cut into contiguous chunks and
+//     a pool of workers expands them, computing every successor's canonical
+//     encoding and claiming it in the visited store. The expensive work —
+//     Next, encoding, symmetry canonicalization, hashing — all happens
+//     here, concurrently. At Workers == 1 the same code runs inline on one
+//     chunk: the sequential oracle is the engine at its narrowest setting,
+//     not a separate implementation.
+//
+//   - Merge (sequential): candidate successors are replayed in exactly
+//     frontier order, then action order, then successor order, assigning
+//     dense ids, recording graph edges, checking invariants and applying
+//     the state constraint and the MaxStates/MaxDepth bounds.
+//
+// Between the phases the store's ResolveLevel hook runs (the spilling
+// store's merge-on-lookup against its disk runs), and after the merge
+// EndLevel enforces memory budgets. Because ids, invariant checks and
+// early exits are all resolved during the deterministic merge, the
+// engine's Result — counters, recorded graph, and shortest counterexample
+// — is identical at every worker count and under every store (modulo
+// fingerprint collisions, which Options.CollisionFree rules out).
+
+// candidate is one successor produced during expansion, awaiting the merge.
+type candidate[S State] struct {
+	succ  S
+	act   string
+	entry *VisitedEntry
+}
+
+// chunkOut is the ordered output of expanding one contiguous frontier chunk.
+type chunkOut[S State] struct {
+	cands    []candidate[S]
+	perState []int // successor count per frontier state of the chunk
+}
+
+// resolveWorkers maps Options.Workers to an effective worker count:
+// 0 means GOMAXPROCS, TLC's default. (Negative counts are rejected by
+// Options.Validate before this runs.)
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// chunkPlan cuts n items into contiguous chunks of roughly n/(workers*4):
+// small enough for dynamic load balancing, large enough to amortize the
+// per-chunk handoff. A single worker gets a single chunk — no handoff at
+// all. It is the single source of truth for chunk count and boundaries;
+// callers size their per-chunk result slices from nChunks and then call
+// run.
+type chunkPlan struct {
+	n, workers, chunkSize, nChunks int
+}
+
+func planChunks(n, workers int) chunkPlan {
+	chunkSize := n
+	if workers > 1 {
+		chunkSize = n / (workers * 4)
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	nChunks := (n + chunkSize - 1) / chunkSize
+	if workers > nChunks {
+		workers = nChunks
+	}
+	return chunkPlan{n: n, workers: workers, chunkSize: chunkSize, nChunks: nChunks}
+}
+
+// run calls fn(worker, chunk, lo, hi) for every chunk of the plan, either
+// inline (narrow inputs are not worth a goroutine handoff) or from a pool
+// of workers pulling chunk indices off an atomic cursor. fn must be safe
+// for concurrent calls on distinct chunks; worker ids are dense in
+// [0, p.workers) and stable within one goroutine, so callers key
+// per-worker scratch (codec clones) off them; chunk indices are dense, so
+// callers collect per-chunk results into a slice and reassemble them in
+// deterministic chunk order.
+func (p chunkPlan) run(fn func(worker, chunk, lo, hi int)) {
+	doChunk := func(w, c int) {
+		lo := c * p.chunkSize
+		hi := lo + p.chunkSize
+		if hi > p.n {
+			hi = p.n
+		}
+		fn(w, c, lo, hi)
+	}
+	// Inline only when there is nothing to share: a single chunk would
+	// serialize anyway, and one worker means no pool. Small frontiers with
+	// expensive Next/Key/Matches (typical of trace checking) still profit
+	// from a handful of goroutines.
+	if p.workers == 1 || p.nChunks == 1 {
+		for c := 0; c < p.nChunks; c++ {
+			doChunk(0, c)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= p.nChunks {
+					return
+				}
+				doChunk(w, c)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runEngine is the unified exploration loop behind Check: one
+// implementation for every worker count and store combination.
+func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStore, fr FrontierStore) (*Result[S], error) {
+	res := &Result[S]{Spec: spec.Name}
+	if opts.RecordGraph {
+		res.Graph = &Graph[S]{}
+	}
+
+	cod := newCodec(spec, opts.ForceKeyEncoding)
+	// Per-worker codec clones persist across BFS levels: scratch buffers
+	// and symmetry scratch states grow once, not once per level. Index 0
+	// is the merge goroutine's own codec (also the single inline worker's).
+	wcods := make([]*codec[S], workers)
+	wcods[0] = cod
+	for w := 1; w < workers; w++ {
+		wcods[w] = cod.clone()
+	}
+	var entries []stateEntry
+	var states []S
+
+	// addState installs a newly discovered state (entry.ID must be -1):
+	// id assignment, depth and graph bookkeeping, invariant checks,
+	// constraint and depth bounds. Runs on the merge goroutine only.
+	addState := func(s S, e *VisitedEntry, parent int, act string, depth int) (*Violation[S], error) {
+		id := len(states)
+		if opts.MaxStates > 0 && id >= opts.MaxStates {
+			return nil, ErrStateLimit
+		}
+		e.ID = id
+		states = append(states, s)
+		entries = append(entries, stateEntry{id: id, parent: parent, act: act, depth: depth})
+		if depth > res.Depth {
+			res.Depth = depth
+		}
+		if res.Graph != nil {
+			res.Graph.States = append(res.Graph.States, s)
+			res.Graph.Keys = append(res.Graph.Keys, s.Key())
+		}
+		for _, inv := range spec.Invariants {
+			if err := inv.Check(s); err != nil {
+				trace, acts := rebuildTrace(entries, states, id)
+				return &Violation[S]{Invariant: inv.Name, Err: err, Trace: trace, TraceActs: acts}, nil
+			}
+		}
+		withinConstraint := spec.Constraint == nil || spec.Constraint(s)
+		if !withinConstraint {
+			res.ConstraintCuts++
+		}
+		if withinConstraint && (opts.MaxDepth == 0 || depth < opts.MaxDepth) {
+			fr.Push(id)
+		}
+		return nil, nil
+	}
+
+	for _, s := range spec.Init() {
+		e := vs.Claim(cod.canonical(s))
+		if e.ID < 0 {
+			viol, err := addState(s, e, -1, "", 0)
+			if err != nil {
+				return res, err
+			}
+			if viol != nil {
+				if res.Graph != nil {
+					res.Graph.Inits = append(res.Graph.Inits, e.ID)
+				}
+				res.Violation = viol
+				res.Distinct = len(states)
+				return res, viol
+			}
+		}
+		if res.Graph != nil {
+			res.Graph.Inits = append(res.Graph.Inits, e.ID)
+		}
+	}
+	if err := vs.EndLevel(); err != nil {
+		res.Distinct = len(states)
+		return res, err
+	}
+
+	// Chunk output buffers recycle across levels (see freeChunks): a
+	// steady exploration stops allocating candidate storage once the
+	// widest level has grown them.
+	var pool chunkPool[S]
+	for {
+		frontier := fr.NextLevel()
+		if len(frontier) == 0 {
+			break
+		}
+		outs := expandFrontier(spec, wcods, states, frontier, vs, &pool)
+		if err := vs.ResolveLevel(); err != nil {
+			res.Distinct = len(states)
+			return res, err
+		}
+
+		// Merge phase: replay candidates in deterministic order.
+		fi := 0 // index into frontier, across chunk boundaries
+		for oi := range outs {
+			out := &outs[oi]
+			ci := 0
+			for _, n := range out.perState {
+				id := frontier[fi]
+				fi++
+				if n == 0 {
+					res.Terminal++
+					continue
+				}
+				depth := entries[id].depth
+				for j := 0; j < n; j++ {
+					c := out.cands[ci]
+					ci++
+					res.Transitions++
+					var viol *Violation[S]
+					sid := c.entry.ID
+					if sid < 0 {
+						var err error
+						viol, err = addState(c.succ, c.entry, id, c.act, depth+1)
+						if err != nil {
+							res.Distinct = len(states)
+							return res, err
+						}
+						sid = c.entry.ID
+					}
+					if res.Graph != nil {
+						res.Graph.Edges = append(res.Graph.Edges, Edge{From: id, Action: c.act, To: sid})
+					}
+					if viol != nil {
+						res.Violation = viol
+						res.Distinct = len(states)
+						return res, viol
+					}
+				}
+			}
+		}
+		pool.free(outs)
+		if err := vs.EndLevel(); err != nil {
+			res.Distinct = len(states)
+			return res, err
+		}
+	}
+	res.Distinct = len(states)
+	return res, nil
+}
+
+// chunkPool recycles chunk output buffers between BFS levels. It is only
+// touched on the merge goroutine: buffers are handed to chunks before the
+// workers start and reclaimed after the merge consumed them.
+type chunkPool[S State] struct {
+	cands    [][]candidate[S]
+	perState [][]int
+}
+
+// seed pre-assigns recycled buffers to the level's chunk outputs.
+func (p *chunkPool[S]) seed(outs []chunkOut[S]) {
+	for i := range outs {
+		if n := len(p.cands); n > 0 {
+			outs[i].cands = p.cands[n-1]
+			p.cands = p.cands[:n-1]
+		}
+		if n := len(p.perState); n > 0 {
+			outs[i].perState = p.perState[n-1]
+			p.perState = p.perState[:n-1]
+		}
+	}
+}
+
+// free reclaims the level's buffers after the merge replayed them. The
+// candidate slots are zeroed first: a recycled backing array must not pin
+// the previous level's duplicate successor states (new states live on in
+// the engine's states slice regardless, but in-level and spill-revived
+// duplicates would otherwise stay reachable until overwritten).
+func (p *chunkPool[S]) free(outs []chunkOut[S]) {
+	for i := range outs {
+		if outs[i].cands != nil {
+			clear(outs[i].cands)
+			p.cands = append(p.cands, outs[i].cands[:0])
+		}
+		if outs[i].perState != nil {
+			p.perState = append(p.perState, outs[i].perState[:0])
+		}
+	}
+}
+
+// expandFrontier expands every frontier state, in parallel across workers,
+// returning per-chunk candidate lists in frontier order. Workers encode
+// each successor through their private codec clone (byte-packed when the
+// spec implements BinaryState, orbit-canonicalized when it declares
+// symmetry) and claim the encoding in the visited store, so the merge
+// phase performs no encoding or hashing at all. Successors already
+// resident with an assigned id (entry.ID set and stable for the whole
+// expansion phase) keep only {act, entry} — the merge needs neither the
+// state nor its encoding to record the duplicate edge, and dropping them
+// keeps per-level buffering near the fingerprint set's 8-bytes-per-state
+// promise. Successors whose entry is still unassigned keep the state:
+// they are either genuinely new or, under the spilling store, duplicates
+// that ResolveLevel will settle before the merge looks.
+func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], states []S, frontier []int, vs VisitedStore, pool *chunkPool[S]) []chunkOut[S] {
+	plan := planChunks(len(frontier), len(wcods))
+	outs := make([]chunkOut[S], plan.nChunks)
+	pool.seed(outs)
+	plan.run(func(w, c, lo, hi int) {
+		wcod := wcods[w]
+		out := outs[c] // recycled buffers (or nil), length 0
+		for _, id := range frontier[lo:hi] {
+			s := states[id]
+			before := len(out.cands)
+			for _, a := range spec.Actions {
+				for _, succ := range a.Next(s) {
+					e := vs.Claim(wcod.canonical(succ))
+					if e.ID >= 0 {
+						out.cands = append(out.cands, candidate[S]{act: a.Name, entry: e})
+					} else {
+						out.cands = append(out.cands, candidate[S]{succ: succ, act: a.Name, entry: e})
+					}
+				}
+			}
+			out.perState = append(out.perState, len(out.cands)-before)
+		}
+		outs[c] = out
+	})
+	return outs
+}

@@ -1,13 +1,11 @@
 package tla
 
-import "sync"
-
-// The parallel checker deduplicates states on 64-bit fingerprints of their
-// canonical encodings, as TLC does: storing 8 bytes per state instead of
-// the full encoding keeps the visited set small and its probes cheap. The
-// price is a vanishing probability of a hash collision silently merging
-// two distinct states; Options.CollisionFree buys back exactness by
-// keying the visited set on full encodings (TLC's -fpmem /
+// The engine's visited stores deduplicate states on 64-bit fingerprints of
+// their canonical encodings, as TLC does: storing 8 bytes per state instead
+// of the full encoding keeps the visited set small and its probes cheap.
+// The price is a vanishing probability of a hash collision silently merging
+// two distinct states; Options.CollisionFree buys back exactness by keying
+// the visited set on full encodings (TLC's -fpmem /
 // collision-probability trade-off, resolved the safe way).
 //
 // The fingerprint function consumes bytes, not strings: specs implementing
@@ -31,74 +29,3 @@ func fnv1a64(b []byte) uint64 {
 // fingerprint is the active fingerprint function. It is a variable only so
 // tests can substitute a deliberately weak hash and force collisions.
 var fingerprint = fnv1a64
-
-// visitedEntry is the visited set's record for one fingerprint (or full
-// encoding, in collision-free mode). id is the dense state id once the
-// merge phase has assigned one, or -1 while the entry is only claimed: a
-// successor generated this level whose canonical position is decided
-// during the deterministic merge.
-type visitedEntry struct {
-	id int
-}
-
-// visitedShards is the number of independently locked shards of the
-// visited set. A power of two so the shard index is a mask of the
-// fingerprint.
-const visitedShards = 64
-
-type visitedShard struct {
-	mu    sync.Mutex
-	byFP  map[uint64]*visitedEntry // fingerprint mode
-	byKey map[string]*visitedEntry // collision-free mode
-}
-
-// visitedSet is the sharded visited set of the parallel checker. Workers
-// claim fingerprints concurrently under per-shard mutexes while expanding a
-// frontier; the merge phase (single goroutine, after all workers joined)
-// assigns ids without locking.
-type visitedSet struct {
-	collisionFree bool
-	shards        [visitedShards]visitedShard
-}
-
-func newVisitedSet(collisionFree bool) *visitedSet {
-	vs := &visitedSet{collisionFree: collisionFree}
-	for i := range vs.shards {
-		if collisionFree {
-			vs.shards[i].byKey = make(map[string]*visitedEntry)
-		} else {
-			vs.shards[i].byFP = make(map[uint64]*visitedEntry)
-		}
-	}
-	return vs
-}
-
-// claim returns the entry for the canonical encoding enc, creating it (with
-// id -1) if it was never seen. The fingerprint selects the shard in both
-// modes; collision-free mode additionally keys the shard map on the full
-// encoding, copying it to a string only when inserting a new entry. Safe
-// for concurrent use; the first claimant creates the entry, later
-// claimants of the same encoding get the same entry. Which goroutine
-// creates an entry is racy, but immaterial: ids are assigned only during
-// the sequential merge, in deterministic order.
-func (vs *visitedSet) claim(enc []byte) *visitedEntry {
-	fp := fingerprint(enc)
-	sh := &vs.shards[fp&(visitedShards-1)]
-	sh.mu.Lock()
-	var e *visitedEntry
-	if vs.collisionFree {
-		e = sh.byKey[string(enc)] // no alloc: map lookup by converted []byte
-		if e == nil {
-			e = &visitedEntry{id: -1}
-			sh.byKey[string(enc)] = e
-		}
-	} else {
-		e = sh.byFP[fp]
-		if e == nil {
-			e = &visitedEntry{id: -1}
-			sh.byFP[fp] = e
-		}
-	}
-	sh.mu.Unlock()
-	return e
-}

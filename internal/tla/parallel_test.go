@@ -236,7 +236,7 @@ func TestFingerprintCollisions(t *testing.T) {
 	// CollisionFree falls back to full-key dedup and must deliver exact
 	// results even under the degenerate fingerprint (all keys land in one
 	// shard, correctness is unaffected).
-	want, wantErr := checkSequential(counterSpec(5), Options{RecordGraph: true})
+	want, wantErr := Check(counterSpec(5), Options{Workers: 1, RecordGraph: true})
 	got, gotErr := Check(counterSpec(5), Options{Workers: 4, RecordGraph: true, CollisionFree: true})
 	assertResultsEqual(t, "collision-free", want, got, wantErr, gotErr)
 	if got.Distinct != 21 { // (5+1)(5+2)/2

@@ -1,0 +1,229 @@
+package tla
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// spillVisited is the disk-spilling VisitedStore: TLC's answer to state
+// spaces whose fingerprint set outgrows RAM, transcribed to the engine's
+// level-synchronized protocol. Resident fingerprints live in the same
+// sharded maps as memVisited; when EndLevel finds the resident set over
+// the configured budget, every (fingerprint, id) pair is sorted and sealed
+// into an immutable run file, and the maps are dropped.
+//
+// Lookups against sealed runs are deferred — merge-on-lookup, once per
+// level: Claim optimistically creates an ID -1 entry for any fingerprint
+// not resident, remembering it on the shard's fresh list, and ResolveLevel
+// merge-joins the level's sorted fresh claims against each sorted run,
+// restoring the spilled ID of the ones that were seen before. The merge
+// phase then treats them as the duplicates they are, with graph edges
+// pointing at the correct dense id. One sequential pass over the runs per
+// BFS level, zero random disk reads — the classic external-memory
+// trade the paper credits TLC's engineering with.
+//
+// The store dedups fingerprints only (8 bytes of identity, 16 on disk with
+// the id); collision-free full-encoding dedup is memory-resident by
+// definition, which Options.Validate enforces.
+
+// spillBytesPerEntry is the budget accounting charge per resident
+// fingerprint: entry struct + map key/value + amortized bucket overhead.
+// It is an estimate — the budget bounds the order of magnitude, not the
+// byte — and a constant so forced-spill tests are deterministic.
+const spillBytesPerEntry = 48
+
+// spillRec is one on-disk record: a fingerprint and its assigned dense id,
+// fixed-width little-endian, 16 bytes.
+type spillRec struct {
+	fp uint64
+	id int64
+}
+
+const spillRecSize = 16
+
+type spillShard struct {
+	mu   sync.Mutex
+	byFP map[uint64]*VisitedEntry
+	// fresh are the entries created since the last ResolveLevel: the
+	// claims that may yet turn out to be duplicates of spilled
+	// fingerprints.
+	fresh []spillFresh
+}
+
+type spillFresh struct {
+	fp uint64
+	e  *VisitedEntry
+}
+
+type spillVisited struct {
+	budget   int64
+	dir      string   // temp dir holding the runs; created on first spill
+	runs     []string // paths of sealed sorted run files, oldest first
+	resident int      // fingerprints currently held in the shard maps
+	shards   [visitedShards]spillShard
+
+	// scratch for ResolveLevel/EndLevel, reused across levels.
+	freshBuf []spillFresh
+	recBuf   []spillRec
+}
+
+func newSpillVisited(budget int64) *spillVisited {
+	vs := &spillVisited{budget: budget}
+	for i := range vs.shards {
+		vs.shards[i].byFP = make(map[uint64]*VisitedEntry)
+	}
+	return vs
+}
+
+// Claim implements VisitedStore. A fingerprint absent from the resident
+// maps gets a provisional ID -1 entry even if it was spilled earlier;
+// ResolveLevel settles the question before the merge needs the answer.
+func (vs *spillVisited) Claim(enc []byte) *VisitedEntry {
+	fp := fingerprint(enc)
+	sh := &vs.shards[fp&(visitedShards-1)]
+	sh.mu.Lock()
+	e := sh.byFP[fp]
+	if e == nil {
+		e = &VisitedEntry{ID: -1}
+		sh.byFP[fp] = e
+		sh.fresh = append(sh.fresh, spillFresh{fp: fp, e: e})
+	}
+	sh.mu.Unlock()
+	return e
+}
+
+// ResolveLevel merge-joins this level's fresh claims against every sealed
+// run, restoring the dense id of fingerprints that were spilled. Runs on
+// the merge goroutine; no locks needed (all workers have joined).
+func (vs *spillVisited) ResolveLevel() error {
+	fresh := vs.freshBuf[:0]
+	for i := range vs.shards {
+		sh := &vs.shards[i]
+		fresh = append(fresh, sh.fresh...)
+		sh.fresh = sh.fresh[:0]
+	}
+	vs.freshBuf = fresh
+	vs.resident += len(fresh)
+	if len(fresh) == 0 || len(vs.runs) == 0 {
+		return nil
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].fp < fresh[j].fp })
+	for _, run := range vs.runs {
+		if err := mergeJoinRun(run, fresh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeJoinRun streams the sorted run once, advancing through the sorted
+// fresh claims in lockstep and restoring the id of every match that is
+// still unassigned.
+func mergeJoinRun(path string, fresh []spillFresh) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var buf [spillRecSize]byte
+	i := 0
+	for i < len(fresh) {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("tla: reading spill run %s: %w", path, err)
+		}
+		fp := binary.LittleEndian.Uint64(buf[:8])
+		for i < len(fresh) && fresh[i].fp < fp {
+			i++
+		}
+		if i < len(fresh) && fresh[i].fp == fp && fresh[i].e.ID < 0 {
+			fresh[i].e.ID = int(int64(binary.LittleEndian.Uint64(buf[8:])))
+		}
+	}
+	return nil
+}
+
+// EndLevel enforces the memory budget after the merge assigned ids: when
+// the resident set charges past the budget, every resident (fingerprint,
+// id) pair is sorted into a new sealed run and the maps are dropped.
+// Revived duplicates may be written to more than one run; they carry the
+// same id everywhere, so merge-join correctness is unaffected.
+func (vs *spillVisited) EndLevel() error {
+	for i := range vs.shards {
+		vs.shards[i].fresh = vs.shards[i].fresh[:0]
+	}
+	if int64(vs.resident)*spillBytesPerEntry <= vs.budget {
+		return nil
+	}
+	recs := vs.recBuf[:0]
+	for i := range vs.shards {
+		sh := &vs.shards[i]
+		for fp, e := range sh.byFP {
+			if e.ID >= 0 { // defensive: never persist an unassigned claim
+				recs = append(recs, spillRec{fp: fp, id: int64(e.ID)})
+			}
+		}
+		sh.byFP = make(map[uint64]*VisitedEntry)
+	}
+	vs.recBuf = recs[:0]
+	vs.resident = 0
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].fp < recs[j].fp })
+	return vs.writeRun(recs)
+}
+
+func (vs *spillVisited) writeRun(recs []spillRec) error {
+	if vs.dir == "" {
+		dir, err := os.MkdirTemp("", "tla-spill-")
+		if err != nil {
+			return fmt.Errorf("tla: creating spill dir: %w", err)
+		}
+		vs.dir = dir
+	}
+	path := filepath.Join(vs.dir, fmt.Sprintf("run-%06d", len(vs.runs)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var buf [spillRecSize]byte
+	for _, rec := range recs {
+		binary.LittleEndian.PutUint64(buf[:8], rec.fp)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(rec.id))
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	vs.runs = append(vs.runs, path)
+	return nil
+}
+
+// Close removes the spill directory and every sealed run.
+func (vs *spillVisited) Close() error {
+	if vs.dir == "" {
+		return nil
+	}
+	dir := vs.dir
+	vs.dir, vs.runs = "", nil
+	return os.RemoveAll(dir)
+}

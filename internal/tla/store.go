@@ -1,0 +1,161 @@
+package tla
+
+import "sync"
+
+// This file defines the two small interfaces the exploration engine is
+// parameterized by — the VisitedStore (deduplication) and the FrontierStore
+// (pending work) — together with their default implementations. The engine
+// itself (engine.go) is store-agnostic: the in-memory sharded fingerprint
+// map, the collision-free full-encoding map, and the disk-spilling store
+// (spill.go) all run under the identical expansion/merge loop, which is how
+// the sequential oracle, the parallel checker, and the bounded-memory
+// checker stay byte-for-byte comparable.
+
+// VisitedEntry is a store's ticket for one canonical encoding. The engine
+// assigns ID during the deterministic merge phase; a store may persist and
+// later restore the assignment (the spilling store writes (fingerprint, ID)
+// records to its sorted runs).
+type VisitedEntry struct {
+	// ID is the state's dense id, or -1 while the encoding is only
+	// claimed: a successor seen this level whose canonical position is
+	// decided during the merge, or a fingerprint spilled to disk that has
+	// not yet been matched by ResolveLevel.
+	ID int
+}
+
+// VisitedStore is the deduplication half of the exploration engine: it maps
+// canonical state encodings to VisitedEntry tickets. The engine drives it
+// in level-synchronized strokes:
+//
+//   - Claim is called concurrently by expansion workers (and by the merge
+//     goroutine for initial states). The first claim of an encoding creates
+//     the entry with ID -1; every later claim of the same encoding must
+//     return the same entry. The encoding slice is only valid during the
+//     call — stores must copy what they keep.
+//   - ResolveLevel runs on the merge goroutine after all workers joined and
+//     before the merge replays the level's candidates. Stores that defer
+//     part of their lookup (the spilling store's merge-on-lookup against
+//     its disk runs) restore previously assigned IDs here.
+//   - EndLevel runs after the merge assigned IDs to the level's new states;
+//     stores enforce memory budgets here (the spilling store seals
+//     over-budget shards into a sorted run).
+//   - Close releases any resources (temp files) when the run finishes.
+//
+// Options.Visited plugs in a custom implementation; the engine then never
+// calls Close on it (the caller owns its lifecycle).
+type VisitedStore interface {
+	Claim(enc []byte) *VisitedEntry
+	ResolveLevel() error
+	EndLevel() error
+	Close() error
+}
+
+// FrontierStore is the pending-work half of the exploration engine: the
+// discovered-but-unexpanded state ids. The engine Pushes ids from the merge
+// goroutine only, and drains one BFS level at a time with NextLevel; an
+// empty level ends the exploration. The default implementation is a
+// level-synchronized queue; the interface is the seam where a
+// work-stealing or prioritized frontier plugs in later
+// (Options.Frontier).
+type FrontierStore interface {
+	Push(id int)
+	NextLevel() []int
+}
+
+// levelFrontier is the default FrontierStore: a double-buffered
+// level-synchronized queue. NextLevel hands out the accumulated level and
+// recycles the previously handed-out slice for the next one, so a steady
+// exploration allocates no frontier storage after the widest level.
+type levelFrontier struct {
+	cur, next []int
+}
+
+func newLevelFrontier() *levelFrontier { return &levelFrontier{} }
+
+func (f *levelFrontier) Push(id int) { f.next = append(f.next, id) }
+
+func (f *levelFrontier) NextLevel() []int {
+	f.cur, f.next = f.next, f.cur[:0]
+	return f.cur
+}
+
+// visitedShards is the number of independently locked shards of the
+// visited stores. A power of two so the shard index is a mask of the
+// fingerprint.
+const visitedShards = 64
+
+type memShard struct {
+	mu    sync.Mutex
+	byFP  map[uint64]*VisitedEntry // fingerprint mode
+	byKey map[string]*VisitedEntry // collision-free mode
+}
+
+// memVisited is the in-memory sharded visited store. Workers claim
+// fingerprints concurrently under per-shard mutexes while expanding a
+// frontier; the merge phase (single goroutine, after all workers joined)
+// assigns ids without locking. In collision-free mode the shard maps key on
+// full canonical encodings instead of 64-bit fingerprints — always the case
+// for the sequential oracle (Workers == 1), which must never be subject to
+// fingerprint collisions.
+type memVisited struct {
+	collisionFree bool
+	shards        [visitedShards]memShard
+}
+
+func newMemVisited(collisionFree bool) *memVisited {
+	vs := &memVisited{collisionFree: collisionFree}
+	for i := range vs.shards {
+		if collisionFree {
+			vs.shards[i].byKey = make(map[string]*VisitedEntry)
+		} else {
+			vs.shards[i].byFP = make(map[uint64]*VisitedEntry)
+		}
+	}
+	return vs
+}
+
+// Claim returns the entry for the canonical encoding enc, creating it (with
+// ID -1) if it was never seen. The fingerprint selects the shard in both
+// modes; collision-free mode additionally keys the shard map on the full
+// encoding, copying it to a string only when inserting a new entry. Safe
+// for concurrent use; the first claimant creates the entry, later
+// claimants of the same encoding get the same entry. Which goroutine
+// creates an entry is racy, but immaterial: ids are assigned only during
+// the sequential merge, in deterministic order.
+func (vs *memVisited) Claim(enc []byte) *VisitedEntry {
+	fp := fingerprint(enc)
+	sh := &vs.shards[fp&(visitedShards-1)]
+	sh.mu.Lock()
+	var e *VisitedEntry
+	if vs.collisionFree {
+		e = sh.byKey[string(enc)] // no alloc: map lookup by converted []byte
+		if e == nil {
+			e = &VisitedEntry{ID: -1}
+			sh.byKey[string(enc)] = e
+		}
+	} else {
+		e = sh.byFP[fp]
+		if e == nil {
+			e = &VisitedEntry{ID: -1}
+			sh.byFP[fp] = e
+		}
+	}
+	sh.mu.Unlock()
+	return e
+}
+
+func (vs *memVisited) ResolveLevel() error { return nil }
+func (vs *memVisited) EndLevel() error     { return nil }
+func (vs *memVisited) Close() error        { return nil }
+
+// newVisitedStore selects the visited store for a validated Options:
+// the spilling fingerprint store when a memory budget is set, the
+// collision-free map when exactness is demanded (explicitly, or implicitly
+// by the sequential oracle path), and the sharded fingerprint map
+// otherwise.
+func newVisitedStore(opts Options, workers int) VisitedStore {
+	if opts.MemoryBudgetBytes > 0 {
+		return newSpillVisited(opts.MemoryBudgetBytes)
+	}
+	return newMemVisited(opts.CollisionFree || workers == 1)
+}

@@ -56,12 +56,20 @@ type Invariant[S State] struct {
 	Check func(S) error
 }
 
+// OrbitVisitor enumerates the symmetry orbit of a state: it must call
+// visit with every image of s under a non-identity permutation of the
+// interchangeable identifiers (visiting s itself too is harmless). The
+// visitor may build each image in one scratch state it reuses across calls
+// and images — visit only encodes the image and must not retain it — which
+// is what makes symmetric exploration near-allocation-free.
+type OrbitVisitor[S State] func(s S, visit func(S))
+
 // Spec is an executable specification: initial states, actions, invariants,
 // and an optional state constraint. Constraint plays the role of TLC's
 // CONSTRAINT clause: states for which it returns false are still checked
 // against invariants but their successors are not explored, bounding the
-// state space. Symmetry plays the role of TLC's SYMMETRY clause and lives
-// here, next to Constraint and Invariants, because like them it is a
+// state space. SymmetryVisitor plays the role of TLC's SYMMETRY clause and
+// lives here, next to Constraint and Invariants, because like them it is a
 // property of the model, not of one checking run.
 type Spec[S State] struct {
 	Name       string
@@ -69,13 +77,13 @@ type Spec[S State] struct {
 	Actions    []Action[S]
 	Invariants []Invariant[S]
 	Constraint func(S) bool
-	// Symmetry, when non-nil, enables symmetry reduction: Symmetry(s) must
-	// return the full orbit of s under the symmetry group — every image of
-	// s under a non-identity permutation of the interchangeable identifiers
-	// (returning s itself too is harmless). The checker dedups each state
-	// on the minimal encoding across its orbit, so only one representative
-	// per orbit is explored: an n!-fold reduction for n fully
-	// interchangeable identities.
+	// SymmetryVisitor, when non-nil, enables symmetry reduction: the
+	// checker dedups each state on the minimal encoding across its orbit,
+	// so only one representative per orbit is explored — an n!-fold
+	// reduction for n fully interchangeable identities. The factory is
+	// invoked once per worker goroutine; the OrbitVisitor it returns is
+	// then owned by that worker, so a scratch state captured in its
+	// closure is reused without synchronization or per-state allocation.
 	//
 	// Soundness requires the permutations to be spec automorphisms: Init,
 	// every Action, every Invariant verdict and the Constraint must be
@@ -85,9 +93,17 @@ type Spec[S State] struct {
 	// the specific identifiers appearing in it may be permuted). Distinct,
 	// Transitions, Terminal, Depth and the recorded Graph all describe the
 	// quotient space — smaller than the full one by construction.
+	SymmetryVisitor func() OrbitVisitor[S]
+	// Symmetry is the materializing predecessor of SymmetryVisitor:
+	// Symmetry(s) returns the full orbit of s as n!-1 freshly allocated
+	// permuted states per successor encoded. It is kept for one release as
+	// an adapter — when SymmetryVisitor is nil, the checker wraps Symmetry
+	// into a visitor with identical semantics (and the allocation bill the
+	// visitor API exists to avoid). Like Next and Key, it is called from
+	// multiple goroutines concurrently unless Workers is 1.
 	//
-	// Like Next and Key, Symmetry is called from multiple goroutines
-	// concurrently unless Workers is 1.
+	// Deprecated: implement SymmetryVisitor instead; this field will be
+	// removed once the in-tree specs' migration has soaked for a release.
 	Symmetry func(S) []S
 }
 
@@ -154,6 +170,59 @@ type Options struct {
 	// benchmarks and as a debugging aid when an AppendBinary
 	// implementation is suspected of violating the Key-agreement contract.
 	ForceKeyEncoding bool
+	// MemoryBudgetBytes bounds the visited set's resident memory
+	// (approximately — the engine charges a fixed estimate per resident
+	// fingerprint). When set, the engine dedups on a disk-spilling
+	// fingerprint store: shards past the budget are sealed into sorted
+	// runs on disk and consulted by one merge-join per BFS level, TLC's
+	// external-memory fingerprint set. 0 keeps everything resident.
+	//
+	// The budget implies fingerprint deduplication at every worker count —
+	// including Workers == 1, which is otherwise the always-collision-free
+	// oracle — and is therefore rejected alongside CollisionFree, whose
+	// full-encoding keys are memory-resident by definition.
+	MemoryBudgetBytes int64
+	// Visited, when non-nil, plugs in a caller-supplied VisitedStore,
+	// overriding the selection the options above imply (CollisionFree
+	// and MemoryBudgetBytes describe the built-in stores and are
+	// rejected alongside a plug-in). The engine does not Close a
+	// plugged-in store — its lifecycle belongs to the caller — but a
+	// store carries one run's dense-id assignments, so every Check call
+	// needs a freshly constructed store; reusing one yields bogus
+	// results.
+	Visited VisitedStore
+	// Frontier, when non-nil, plugs in a caller-supplied FrontierStore in
+	// place of the default level-synchronized queue.
+	Frontier FrontierStore
+}
+
+// ErrInvalidOptions is the named error every Options (and TraceOptions)
+// validation failure wraps: errors.Is(err, ErrInvalidOptions) reports that
+// a checking run was rejected before exploring anything, with the detail in
+// the error text.
+var ErrInvalidOptions = errors.New("tla: invalid options")
+
+// Validate rejects option combinations the engine would otherwise have to
+// silently reinterpret. Check calls it first; callers constructing options
+// from external input (CLI flags) can call it early for a better error.
+func (o Options) Validate() error {
+	switch {
+	case o.Workers < 0:
+		return fmt.Errorf("%w: negative Workers %d (0 means GOMAXPROCS, 1 the sequential oracle)", ErrInvalidOptions, o.Workers)
+	case o.MaxStates < 0:
+		return fmt.Errorf("%w: negative MaxStates %d (0 means unlimited)", ErrInvalidOptions, o.MaxStates)
+	case o.MaxDepth < 0:
+		return fmt.Errorf("%w: negative MaxDepth %d (0 means unlimited)", ErrInvalidOptions, o.MaxDepth)
+	case o.MemoryBudgetBytes < 0:
+		return fmt.Errorf("%w: negative MemoryBudgetBytes %d (0 means fully resident)", ErrInvalidOptions, o.MemoryBudgetBytes)
+	case o.MemoryBudgetBytes > 0 && o.CollisionFree:
+		return fmt.Errorf("%w: MemoryBudgetBytes requires fingerprint deduplication, but CollisionFree keys the visited set on full encodings, which are memory-resident by definition", ErrInvalidOptions)
+	case o.MemoryBudgetBytes > 0 && o.Visited != nil:
+		return fmt.Errorf("%w: MemoryBudgetBytes selects the spilling store and Visited plugs in another; set one", ErrInvalidOptions)
+	case o.CollisionFree && o.Visited != nil:
+		return fmt.Errorf("%w: CollisionFree selects the full-encoding store and Visited plugs in another; set one", ErrInvalidOptions)
+	}
+	return nil
 }
 
 // ErrStateLimit is returned when exploration hits Options.MaxStates.
@@ -210,125 +279,30 @@ type stateEntry struct {
 // counterexample and Check returns it as the error as well; exploration
 // stops at the first violation, as TLC does by default.
 //
-// With Options.Workers != 1 (the default resolves to GOMAXPROCS) the
-// exploration runs on the parallel level-synchronized path; Workers == 1
-// runs the sequential reference implementation. Both produce identical
-// results.
+// One engine serves every configuration: Options selects the worker count
+// (0 resolves to GOMAXPROCS; 1 is the sequential oracle, which dedups on
+// full encodings and is therefore always collision-free unless
+// MemoryBudgetBytes engages the spilling fingerprint store) and the
+// visited/frontier stores. Results are identical at every worker count and
+// under every store, modulo fingerprint collisions (see CollisionFree).
 func Check[S State](spec *Spec[S], opts Options) (*Result[S], error) {
-	if w := resolveWorkers(opts.Workers); w > 1 {
-		return checkParallel(spec, opts, w)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	return checkSequential(spec, opts)
-}
-
-// checkSequential is the single-goroutine reference checker: the oracle the
-// parallel path is cross-checked against. It dedups on full canonical
-// encodings (never fingerprints), so it is always collision-free; the
-// encoding itself still takes the BinaryState fast path and symmetry
-// canonicalization, through the same codec the parallel path uses.
-func checkSequential[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 	if spec.Init == nil {
 		return nil, errNoInit
 	}
-	res := &Result[S]{Spec: spec.Name}
-	if opts.RecordGraph {
-		res.Graph = &Graph[S]{}
+	workers := resolveWorkers(opts.Workers)
+	vs := opts.Visited
+	if vs == nil {
+		vs = newVisitedStore(opts, workers)
+		defer vs.Close()
 	}
-
-	cod := newCodec(spec, opts.ForceKeyEncoding)
-	seen := make(map[string]int) // canonical encoding -> id
-	var entries []stateEntry     // by id
-	var states []S               // by id; retained for counterexamples
-	var queue []int              // ids pending expansion
-
-	checkInvariants := func(s S, id int) *Violation[S] {
-		for _, inv := range spec.Invariants {
-			if err := inv.Check(s); err != nil {
-				trace, acts := rebuildTrace(entries, states, id)
-				return &Violation[S]{Invariant: inv.Name, Err: err, Trace: trace, TraceActs: acts}
-			}
-		}
-		return nil
+	fr := opts.Frontier
+	if fr == nil {
+		fr = newLevelFrontier()
 	}
-
-	add := func(s S, parent int, act string, depth int) (int, *Violation[S], error) {
-		enc := cod.canonical(s)
-		if id, ok := seen[string(enc)]; ok { // no alloc: map lookup by converted []byte
-			return id, nil, nil
-		}
-		id := len(states)
-		if opts.MaxStates > 0 && id >= opts.MaxStates {
-			return -1, nil, ErrStateLimit
-		}
-		seen[string(enc)] = id
-		states = append(states, s)
-		entries = append(entries, stateEntry{id: id, parent: parent, act: act, depth: depth})
-		if depth > res.Depth {
-			res.Depth = depth
-		}
-		if res.Graph != nil {
-			res.Graph.States = append(res.Graph.States, s)
-			res.Graph.Keys = append(res.Graph.Keys, s.Key())
-		}
-		if v := checkInvariants(s, id); v != nil {
-			return id, v, nil
-		}
-		withinConstraint := spec.Constraint == nil || spec.Constraint(s)
-		if !withinConstraint {
-			res.ConstraintCuts++
-		}
-		if withinConstraint && (opts.MaxDepth == 0 || depth < opts.MaxDepth) {
-			queue = append(queue, id)
-		}
-		return id, nil, nil
-	}
-
-	for _, s := range spec.Init() {
-		id, viol, err := add(s, -1, "", 0)
-		if err != nil {
-			return res, err
-		}
-		if res.Graph != nil && id >= 0 {
-			res.Graph.Inits = append(res.Graph.Inits, id)
-		}
-		if viol != nil {
-			res.Violation = viol
-			res.Distinct = len(states)
-			return res, viol
-		}
-	}
-
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		s := states[id]
-		depth := entries[id].depth
-		enabled := false
-		for _, a := range spec.Actions {
-			for _, succ := range a.Next(s) {
-				enabled = true
-				res.Transitions++
-				sid, viol, err := add(succ, id, a.Name, depth+1)
-				if err != nil {
-					res.Distinct = len(states)
-					return res, err
-				}
-				if res.Graph != nil {
-					res.Graph.Edges = append(res.Graph.Edges, Edge{From: id, Action: a.Name, To: sid})
-				}
-				if viol != nil {
-					res.Violation = viol
-					res.Distinct = len(states)
-					return res, viol
-				}
-			}
-		}
-		if !enabled {
-			res.Terminal++
-		}
-	}
-	res.Distinct = len(states)
-	return res, nil
+	return runEngine(spec, opts, workers, vs, fr)
 }
 
 func rebuildTrace[S State](entries []stateEntry, states []S, id int) ([]S, []string) {

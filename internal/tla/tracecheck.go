@@ -73,6 +73,15 @@ type TraceOptions struct {
 	Stuttering bool
 }
 
+// Validate rejects nonsensical trace-checking options with
+// ErrInvalidOptions, mirroring Options.Validate.
+func (o TraceOptions) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: negative Workers %d (0 means GOMAXPROCS, 1 is sequential)", ErrInvalidOptions, o.Workers)
+	}
+	return nil
+}
+
 // stutterAction is the explanation recorded for a stuttering match.
 const stutterAction = "<stutter>"
 
@@ -115,6 +124,9 @@ type frontierChunk[S State] struct {
 // frontier states match different future observations and must stay
 // distinct.
 func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOptions) (*TraceResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	res := &TraceResult{FailedStep: -1}
 	if len(trace) == 0 {
 		res.OK = true
@@ -122,6 +134,13 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 	}
 	workers := resolveWorkers(opts.Workers)
 	cod := newCodec(&Spec[S]{}, false) // symmetry-free codec: binary fast path only
+	// Per-worker codec clones persist across observations; index 0 is the
+	// merge goroutine's own codec (also the single inline worker's).
+	wcods := make([]*codec[S], workers)
+	wcods[0] = cod
+	for w := 1; w < workers; w++ {
+		wcods[w] = cod.clone()
+	}
 
 	var frontier []S
 	seen := make(map[string]bool)
@@ -141,7 +160,7 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 	res.FrontierSizes = append(res.FrontierSizes, len(frontier))
 
 	for i := 1; i < len(trace); i++ {
-		chunks := advanceFrontier(spec, cod, frontier, trace[i], opts.Stuttering, workers)
+		chunks := advanceFrontier(spec, wcods, frontier, trace[i], opts.Stuttering)
 
 		next := frontier[:0:0]
 		clear(seen)
@@ -178,11 +197,11 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 // advanceFrontier computes, in parallel, every successor (and, with
 // stuttering, every unchanged frontier state) consistent with obs. Chunks
 // come back in frontier order so the merged next frontier is deterministic.
-func advanceFrontier[S State](spec *Spec[S], cod *codec[S], frontier []S, obs Observation[S], stuttering bool, workers int) []frontierChunk[S] {
-	plan := planChunks(len(frontier), workers)
+func advanceFrontier[S State](spec *Spec[S], wcods []*codec[S], frontier []S, obs Observation[S], stuttering bool) []frontierChunk[S] {
+	plan := planChunks(len(frontier), len(wcods))
 	chunks := make([]frontierChunk[S], plan.nChunks)
-	plan.run(func(c, lo, hi int) {
-		wcod := cod.clone()
+	plan.run(func(w, c, lo, hi int) {
+		wcod := wcods[w]
 		ch := frontierChunk[S]{acts: make(map[string]bool)}
 		local := make(map[string]bool)
 		add := func(s S, act string) {
