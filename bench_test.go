@@ -251,14 +251,69 @@ func BenchmarkParallelCheck(b *testing.B) {
 	for _, v := range variants {
 		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/workers=%d", v.name, w), func(b *testing.B) {
+				var states int64
 				for i := 0; i < b.N; i++ {
 					res, err := tla.Check(v.spec(), tla.Options{Workers: w})
 					if err != nil {
 						b.Fatal(err)
 					}
+					states += int64(res.Distinct)
 					b.ReportMetric(float64(res.Distinct), "states")
 				}
+				reportStatesPerSec(b, states)
 			})
+		}
+	}
+}
+
+// reportStatesPerSec attaches the exploration throughput metric the CI
+// bench-delta stage compares across PR head and merge base: distinct
+// states discovered per wall-clock second, aggregated over the
+// benchmark's iterations.
+func reportStatesPerSec(b *testing.B, states int64) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(states)/secs, "states/sec")
+	}
+}
+
+// BenchmarkWorkStealCheck compares the two scheduling modes of the
+// exploration engine at matched worker counts: the default
+// level-synchronized BFS (one barrier plus a single-threaded merge per
+// level) against the barrier-free work-stealing loop (per-worker
+// steal-half deques, claim-on-insert deduplication) on the wide
+// replica-set state spaces where level edges idle the most workers. The
+// states/sec metric is the headline; on a multi-core host work-stealing
+// at workers=4 is the configuration the barrier removal pays off in (a
+// single-core container serializes both modes — see README).
+func BenchmarkWorkStealCheck(b *testing.B) {
+	variants := []struct {
+		name string
+		spec func() *tla.Spec[raftmongo.State]
+	}{
+		{"raftmongo-v1-small", func() *tla.Spec[raftmongo.State] {
+			return raftmongo.SpecV1(raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2})
+		}},
+		{"raftmongo-v2-small", func() *tla.Spec[raftmongo.State] {
+			return raftmongo.SpecV2(raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2})
+		}},
+	}
+	for _, v := range variants {
+		for _, sched := range []tla.Schedule{tla.ScheduleLevelSync, tla.ScheduleWorkSteal} {
+			for _, w := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/schedule=%s/workers=%d", v.name, sched, w), func(b *testing.B) {
+					b.ReportAllocs()
+					var states int64
+					for i := 0; i < b.N; i++ {
+						res, err := tla.Check(v.spec(), tla.Options{Workers: w, Schedule: sched})
+						if err != nil {
+							b.Fatal(err)
+						}
+						states += int64(res.Distinct)
+						b.ReportMetric(float64(res.Distinct), "states")
+					}
+					reportStatesPerSec(b, states)
+				})
+			}
 		}
 	}
 }
@@ -270,16 +325,43 @@ func BenchmarkParallelCheck(b *testing.B) {
 // canonical Key() string first, the pre-BinaryState behaviour). Allocation
 // counts are the headline: the binary path must allocate strictly less
 // per run (TestBinaryEncodingAllocatesLess pins the direction; this
-// benchmark carries the magnitude).
+// benchmark carries the magnitude). SetBytes carries the volume of
+// encoding bytes one exploration produces, so the output's MB/s column is
+// encoding throughput and the CI bench-delta stage can compare it.
 func BenchmarkParallelCheckEncoding(b *testing.B) {
 	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
+	// One graph-recording pass up front measures how many encoding bytes
+	// (binary or Key) a full exploration pushes through the codec: the
+	// codec encodes every generated successor — one per recorded edge,
+	// duplicates included — plus each initial state, not just the
+	// distinct survivors.
+	pre, err := tla.Check(raftmongo.SpecV1(cfg), tla.Options{RecordGraph: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var binBytes, keyBytes int64
+	encLen := func(id int) (bin, key int64) {
+		return int64(len(pre.Graph.States[id].AppendBinary(nil))), int64(len(pre.Graph.Keys[id]))
+	}
+	for _, e := range pre.Graph.Edges {
+		bin, key := encLen(e.To)
+		binBytes += bin
+		keyBytes += key
+	}
+	for _, id := range pre.Graph.Inits {
+		bin, key := encLen(id)
+		binBytes += bin
+		keyBytes += key
+	}
 	for _, enc := range []struct {
 		name  string
 		force bool
-	}{{"binary", false}, {"keys", true}} {
+		total int64
+	}{{"binary", false, binBytes}, {"keys", true, keyBytes}} {
 		for _, w := range []int{1, 4} {
 			b.Run(fmt.Sprintf("replset-v1/%s/workers=%d", enc.name, w), func(b *testing.B) {
 				b.ReportAllocs()
+				b.SetBytes(enc.total)
 				for i := 0; i < b.N; i++ {
 					res, err := tla.Check(raftmongo.SpecV1(cfg), tla.Options{Workers: w, ForceKeyEncoding: enc.force})
 					if err != nil {
@@ -298,9 +380,10 @@ func BenchmarkParallelCheckEncoding(b *testing.B) {
 // the states metric carries the reduction, the time column the payoff,
 // and allocs/state the canonicalizer-API acceptance criterion: the
 // visitor path (symmetry=true, the spec constructors' default) must stay
-// at a flat allocation count per explored state, against the deprecated
-// materializing orbit adapter (symmetry=deprecated-orbit) whose per-state
-// allocations scale with the n!-1 images it builds.
+// at a flat allocation count per explored state, against a materializing
+// orbit enumeration (symmetry=materializing-orbit, wrapping the reference
+// NodePermutations) whose per-state allocations scale with the n!-1
+// images it builds.
 func BenchmarkSymmetryReduction(b *testing.B) {
 	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
 	modes := []struct {
@@ -315,9 +398,15 @@ func BenchmarkSymmetryReduction(b *testing.B) {
 			c.Symmetric = true
 			return mk(c)
 		}},
-		{"deprecated-orbit", func(mk func(raftmongo.Config) *tla.Spec[raftmongo.State]) *tla.Spec[raftmongo.State] {
+		{"materializing-orbit", func(mk func(raftmongo.Config) *tla.Spec[raftmongo.State]) *tla.Spec[raftmongo.State] {
 			spec := mk(cfg)
-			spec.Symmetry = raftmongo.NodePermutations
+			spec.SymmetryVisitor = func() tla.OrbitVisitor[raftmongo.State] {
+				return func(s raftmongo.State, visit func(raftmongo.State)) {
+					for _, img := range raftmongo.NodePermutations(s) {
+						visit(img)
+					}
+				}
+			}
 			return spec
 		}},
 	}
@@ -359,13 +448,16 @@ func BenchmarkSpillCheck(b *testing.B) {
 		budget int64
 	}{{"resident", 0}, {"forced-spill", 1}} {
 		b.Run("raftmongo-v1/"+bench.name, func(b *testing.B) {
+			var states int64
 			for i := 0; i < b.N; i++ {
 				res, err := tla.Check(raftmongo.SpecV1(cfg), tla.Options{MemoryBudgetBytes: bench.budget})
 				if err != nil {
 					b.Fatal(err)
 				}
+				states += int64(res.Distinct)
 				b.ReportMetric(float64(res.Distinct), "states")
 			}
+			reportStatesPerSec(b, states)
 		})
 	}
 }
@@ -406,13 +498,16 @@ func BenchmarkParallelTrace(b *testing.B) {
 func BenchmarkCheckerThroughput(b *testing.B) {
 	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
 	b.ReportAllocs()
+	var states int64
 	for i := 0; i < b.N; i++ {
 		res, err := tla.Check(raftmongo.SpecV1(cfg), tla.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
+		states += int64(res.Distinct)
 		b.ReportMetric(float64(res.Distinct), "states")
 	}
+	reportStatesPerSec(b, states)
 }
 
 // BenchmarkAblationFrontierVsGraph quantifies the design choice behind the

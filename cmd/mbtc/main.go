@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mbtc -scenario write_3_and_replicate [-spec v2] [-list] [-workers N] [-symmetry] [-mem-budget BYTES]
+//	mbtc -scenario write_3_and_replicate [-spec v2] [-list] [-workers N] [-symmetry] [-mem-budget BYTES] [-schedule MODE]
 //	mbtc -fuzz [-steps 400] [-seed 7] [-sync-before-writes] [-flawed]
 package main
 
@@ -36,6 +36,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "trace-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry     = flag.Bool("symmetry", false, "declare node ids interchangeable on the specification (note: trace checking ignores symmetry)")
 		memBudget    = flag.Int64("mem-budget", 0, "visited-set spill budget (accepted for CLI uniformity; trace checking keeps its frontier resident)")
+		schedule     = flag.String("schedule", "levelsync", "exploration schedule (accepted for CLI uniformity; trace checking advances one observation at a time)")
 	)
 	flag.Parse()
 
@@ -49,15 +50,23 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers, *symmetry, *memBudget); err != nil {
+	if err := run(*scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers, *symmetry, *memBudget, *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int, symmetry bool, memBudget int64) error {
+func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int, symmetry bool, memBudget int64, schedule string) error {
 	if topts := (tla.TraceOptions{Workers: workers}); topts.Validate() != nil {
 		return topts.Validate()
+	}
+	if sched, err := tla.ParseSchedule(schedule); err != nil {
+		return err
+	} else if sched != tla.ScheduleLevelSync {
+		// Accepted for CLI uniformity with minitlc/mbtcg: the frontier
+		// method advances observation by observation, so there is no level
+		// structure to reschedule.
+		fmt.Fprintln(os.Stderr, "mbtc: note: trace checking advances one observation at a time; -schedule applies to full exploration (minitlc, mbtcg) only")
 	}
 	if memBudget != 0 {
 		// The flag is accepted for CLI uniformity with minitlc/mbtcg; the

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N] [-symmetry] [-mem-budget BYTES]
+//	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N] [-symmetry] [-mem-budget BYTES] \
+//	      [-schedule levelsync|worksteal]
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "model-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "symmetry reduction (accepted for CLI uniformity; array_ot has none)")
 		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
+		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync (deterministic BFS and DOT output) or worksteal (barrier-free; same cases, nondeterministic graph order)")
 	)
 	flag.Parse()
 	if *symmetry {
@@ -41,16 +43,27 @@ func main() {
 		// automorphism — quotienting on it would drop generated cases.
 		fmt.Fprintln(os.Stderr, "mbtcg: note: array_ot has no symmetric identities (clients act in ID order); -symmetry has no effect")
 	}
-	if err := run(*dotPath, *emitPath, *withCov, *workers, *memBudget); err != nil {
+	if err := run(*dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtcg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dotPath, emitPath string, withCov bool, workers int, memBudget int64) error {
-	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget}
+func run(dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string) error {
+	sched, err := tla.ParseSchedule(schedule)
+	if err != nil {
+		return err
+	}
+	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget, Schedule: sched}
 	if err := opts.Validate(); err != nil {
 		return err
+	}
+	if sched == tla.ScheduleWorkSteal {
+		if memBudget > 0 {
+			fmt.Fprintln(os.Stderr, "mbtcg: note: the spilling visited store is level-synchronized; -mem-budget falls the run back to -schedule levelsync")
+		} else {
+			fmt.Fprintln(os.Stderr, "mbtcg: note: worksteal generates the same cases but numbers graph states nondeterministically; diff DOT output across runs only under levelsync")
+		}
 	}
 	cases, distinct, err := mbtcg.GenerateOpts(arrayot.DefaultConfig(), dotPath, opts)
 	if err != nil {

@@ -7,7 +7,8 @@
 //
 //	minitlc -spec raftmongo-v1|raftmongo-v2|arrayot|locking \
 //	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
-//	        [-dot out.dot] [-liveness] [-workers N] [-symmetry] [-mem-budget BYTES]
+//	        [-dot out.dot] [-liveness] [-workers N] [-symmetry] [-mem-budget BYTES] \
+//	        [-schedule levelsync|worksteal] [-arena]
 package main
 
 import (
@@ -34,18 +35,36 @@ func main() {
 		workers   = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "symmetry reduction over interchangeable identities (raftmongo nodes, locking actors)")
 		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
+		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync (deterministic BFS, shortest counterexamples) or worksteal (barrier-free, identical verdicts and counts)")
+		arena     = flag.Bool("arena", false, "retain discovered states as encoded bytes in an append-only arena instead of live values (cuts retention memory; counterexamples are replayed; incompatible with -dot/-liveness)")
 	)
 	flag.Parse()
-	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness, *workers, *symmetry, *memBudget); err != nil {
+	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness, *workers, *symmetry, *memBudget, *schedule, *arena); err != nil {
 		fmt.Fprintln(os.Stderr, "minitlc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool, workers int, symmetry bool, memBudget int64) error {
-	opts := tla.Options{RecordGraph: dotPath != "" || liveness, Workers: workers, MemoryBudgetBytes: memBudget}
+func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool, workers int, symmetry bool, memBudget int64, schedule string, arena bool) error {
+	sched, err := tla.ParseSchedule(schedule)
+	if err != nil {
+		return err
+	}
+	opts := tla.Options{
+		RecordGraph:       dotPath != "" || liveness,
+		Workers:           workers,
+		MemoryBudgetBytes: memBudget,
+		Schedule:          sched,
+		StateArena:        arena,
+	}
 	if err := opts.Validate(); err != nil {
 		return err
+	}
+	if sched == tla.ScheduleWorkSteal && memBudget > 0 {
+		fmt.Fprintln(os.Stderr, "minitlc: note: the spilling visited store is level-synchronized; -mem-budget falls the run back to -schedule levelsync (-arena still spills retained states)")
+	}
+	if sched == tla.ScheduleWorkSteal && opts.RecordGraph {
+		fmt.Fprintln(os.Stderr, "minitlc: note: worksteal numbers graph states nondeterministically; liveness verdicts are unaffected, but diff DOT output across runs only under levelsync")
 	}
 	switch specName {
 	case "raftmongo-v1", "raftmongo-v2":

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	rollback-fuzzer [-steps 8400] [-seed 7] [-nodes 3] [-out dir] [-flawed] [-sync-before-writes] \
-//	                [-check] [-spec v2] [-workers N] [-symmetry] [-mem-budget BYTES]
+//	                [-check] [-spec v2] [-workers N] [-symmetry] [-mem-budget BYTES] [-schedule MODE]
 package main
 
 import (
@@ -42,18 +42,24 @@ func main() {
 		workers   = flag.Int("workers", 0, "trace-checker worker goroutines for -check (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "declare node ids interchangeable on the specification (note: trace checking ignores symmetry)")
 		memBudget = flag.Int64("mem-budget", 0, "visited-set spill budget (accepted for CLI uniformity; trace checking keeps its frontier resident)")
+		schedule  = flag.String("schedule", "levelsync", "exploration schedule (accepted for CLI uniformity; trace checking advances one observation at a time)")
 	)
 	flag.Parse()
-	if err := run(*steps, *seed, *nodes, *outDir, *flawed, *syncFirst, *check, *specVar, *workers, *symmetry, *memBudget); err != nil {
+	if err := run(*steps, *seed, *nodes, *outDir, *flawed, *syncFirst, *check, *specVar, *workers, *symmetry, *memBudget, *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "rollback-fuzzer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(steps int, seed int64, nodes int, outDir string, flawed, syncFirst, check bool, specVar string, workers int, symmetry bool, memBudget int64) error {
+func run(steps int, seed int64, nodes int, outDir string, flawed, syncFirst, check bool, specVar string, workers int, symmetry bool, memBudget int64, schedule string) error {
 	topts := tla.TraceOptions{Workers: workers}
 	if err := topts.Validate(); err != nil {
 		return err
+	}
+	if sched, err := tla.ParseSchedule(schedule); err != nil {
+		return err
+	} else if sched != tla.ScheduleLevelSync {
+		fmt.Fprintln(os.Stderr, "rollback-fuzzer: note: trace checking advances one observation at a time; -schedule applies to full exploration (minitlc, mbtcg) only")
 	}
 	if symmetry {
 		// Accepted for CLI uniformity with minitlc/mbtc/mbtcg, but the

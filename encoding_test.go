@@ -38,24 +38,30 @@ func TestBinaryEncodingAllocatesLess(t *testing.T) {
 }
 
 // TestSymmetryVisitorAllocatesLess pins the acceptance criterion of the
-// canonicalizer migration: on the symmetric replica-set spec, a full
-// exploration through the orbit-visitor path (one scratch state per
-// worker, images encoded in place) must allocate strictly less than the
-// identical exploration through the deprecated materializing
-// Spec.Symmetry adapter, which builds n!-1 permuted states per successor
-// encoded. The gap is structural — the adapter's per-state allocations
-// scale with the orbit, the visitor's do not — but the assertion stays
+// canonicalizer API: on the symmetric replica-set spec, a full exploration
+// through the orbit-visitor path (one scratch state per worker, images
+// encoded in place) must allocate strictly less than the identical
+// exploration through a materializing enumeration that builds n!-1
+// permuted states per successor encoded (raftmongo.NodePermutations, the
+// reference implementation the visitor is property-tested against). The
+// gap is structural — the materializing path's per-state allocations scale
+// with the orbit, the visitor's do not — but the assertion stays
 // directional, leaving the magnitude to BenchmarkSymmetryReduction.
 func TestSymmetryVisitorAllocatesLess(t *testing.T) {
 	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 1, MaxLogLen: 2}
-	measure := func(deprecated bool) float64 {
+	measure := func(materializing bool) float64 {
 		return testing.AllocsPerRun(3, func() {
 			symCfg := cfg
 			symCfg.Symmetric = true
 			spec := raftmongo.SpecV1(symCfg)
-			if deprecated {
-				spec.SymmetryVisitor = nil
-				spec.Symmetry = raftmongo.NodePermutations
+			if materializing {
+				spec.SymmetryVisitor = func() tla.OrbitVisitor[raftmongo.State] {
+					return func(s raftmongo.State, visit func(raftmongo.State)) {
+						for _, img := range raftmongo.NodePermutations(s) {
+							visit(img)
+						}
+					}
+				}
 			}
 			res, err := tla.Check(spec, tla.Options{Workers: 1})
 			if err != nil {

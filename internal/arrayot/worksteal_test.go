@@ -1,0 +1,50 @@
+package arrayot
+
+import (
+	"testing"
+
+	"repro/internal/ot"
+	"repro/internal/tla"
+)
+
+// TestWorkStealMatchesLevelSync cross-checks the barrier-free scheduler on
+// the array_ot spec — the MBTCG workload, whose terminal states become
+// generated test cases, so the distinct/terminal counts are the quantities
+// the pipeline depends on. Arena retention rides along: array_ot states
+// encode through ot.Network.AppendBinary, the heaviest encoding in the
+// repository.
+func TestWorkStealMatchesLevelSync(t *testing.T) {
+	mk := func() *tla.Spec[State] {
+		cfg := Config{Initial: []int{1, 2, 3}, Clients: 2, OpsPerClient: 1, Transformer: ot.NewTransformer(nil, false)}
+		return Spec(cfg)
+	}
+	want, err := tla.Check(mk(), tla.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arena := range []bool{false, true} {
+		got, err := tla.Check(mk(), tla.Options{Workers: 4, Schedule: tla.ScheduleWorkSteal, StateArena: arena})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Distinct != got.Distinct || want.Transitions != got.Transitions || want.Terminal != got.Terminal {
+			t.Fatalf("arena=%v: counters differ: levelsync %d/%d/%d vs worksteal %d/%d/%d",
+				arena, want.Distinct, want.Transitions, want.Terminal, got.Distinct, got.Transitions, got.Terminal)
+		}
+	}
+
+	// The paper's full configuration: the generated-case count (terminal
+	// states) must be schedule-independent.
+	full, err := tla.Check(Spec(DefaultConfig()), tla.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := tla.Check(Spec(DefaultConfig()), tla.Options{Workers: 4, Schedule: tla.ScheduleWorkSteal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Distinct != ws.Distinct || full.Terminal != ws.Terminal {
+		t.Fatalf("full config: levelsync %d distinct/%d terminal vs worksteal %d/%d",
+			full.Distinct, full.Terminal, ws.Distinct, ws.Terminal)
+	}
+}

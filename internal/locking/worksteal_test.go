@@ -1,0 +1,54 @@
+package locking
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/tla"
+)
+
+// TestWorkStealMatchesLevelSync cross-checks the barrier-free scheduler on
+// the lock-manager spec: identical clean-run counts with and without
+// symmetry reduction and arena retention, and for the deliberately broken
+// manager (OmitCompatibilityCheck) the same Compatibility violation —
+// found by a work-stealing order that owes no shortest-counterexample
+// guarantee, but still reported through errors.Is/As.
+func TestWorkStealMatchesLevelSync(t *testing.T) {
+	for _, actors := range []int{2, 3} {
+		for _, sym := range []bool{false, true} {
+			for _, omit := range []bool{false, true} {
+				for _, arena := range []bool{false, true} {
+					cfg := SpecConfig{Actors: actors, Symmetric: sym, OmitCompatibilityCheck: omit}
+					desc := fmt.Sprintf("actors=%d sym=%v omit=%v arena=%v", actors, sym, omit, arena)
+					want, wantErr := tla.Check(Spec(cfg), tla.Options{Workers: 4})
+					got, gotErr := tla.Check(Spec(cfg), tla.Options{
+						Workers:    4,
+						Schedule:   tla.ScheduleWorkSteal,
+						StateArena: arena,
+					})
+					if errors.Is(wantErr, tla.ErrInvariantViolated) != errors.Is(gotErr, tla.ErrInvariantViolated) {
+						t.Fatalf("%s: verdicts differ: levelsync err=%v worksteal err=%v", desc, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						var v *tla.Violation[SpecState]
+						if !errors.As(gotErr, &v) {
+							t.Fatalf("%s: work-steal violation not recoverable via errors.As: %v", desc, gotErr)
+						}
+						if v.Invariant != want.Violation.Invariant {
+							t.Fatalf("%s: violated invariants differ: %s vs %s", desc, v.Invariant, want.Violation.Invariant)
+						}
+						continue
+					}
+					if gotErr != nil {
+						t.Fatalf("%s: worksteal err=%v on a clean spec", desc, gotErr)
+					}
+					if want.Distinct != got.Distinct || want.Transitions != got.Transitions || want.Terminal != got.Terminal {
+						t.Fatalf("%s: counters differ: levelsync %d/%d/%d vs worksteal %d/%d/%d",
+							desc, want.Distinct, want.Transitions, want.Terminal, got.Distinct, got.Transitions, got.Terminal)
+					}
+				}
+			}
+		}
+	}
+}

@@ -2,7 +2,10 @@ package raftmongo
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"repro/internal/tla"
 )
 
 // fuzzReader doles out bytes from the fuzz input, returning zeros once the
@@ -56,12 +59,38 @@ func assertEncodingAgreement(t *testing.T, a, b State) {
 	}
 }
 
+// assertArenaRoundTrip pushes a state through the retained-state arena end
+// to end: a one-state spec checked under Options.StateArena (with a
+// one-byte budget, so the encoding is spilled to disk and read back) whose
+// invariant always fails, forcing the arena's replay-based counterexample
+// reconstruction. The replayed state must be semantically identical to the
+// original — encode → arena → decode == original, riding the fuzz corpus.
+func assertArenaRoundTrip(t *testing.T, s State) {
+	t.Helper()
+	spec := &tla.Spec[State]{
+		Name: "arena-round-trip",
+		Init: func() []State { return []State{s} },
+		Invariants: []tla.Invariant[State]{{
+			Name:  "AlwaysFails",
+			Check: func(State) error { return errors.New("retrieve the trace") },
+		}},
+	}
+	res, err := tla.Check(spec, tla.Options{Workers: 1, StateArena: true, MemoryBudgetBytes: 1})
+	if !errors.Is(err, tla.ErrInvariantViolated) {
+		t.Fatalf("arena round-trip check err = %v, want the forced violation", err)
+	}
+	if len(res.Violation.Trace) != 1 || res.Violation.Trace[0].Key() != s.Key() {
+		t.Fatalf("arena round-trip corrupted the state:\n got  %v\n want %s", res.Violation.Trace, s.Key())
+	}
+}
+
 // FuzzBinaryKeyAgreement enforces the tla.BinaryState contract on the
 // replica-set spec state: for any two states, the byte-packed encodings
 // are equal if and only if the canonical Key() strings are. A violation
 // means the checker's fast path merges (or splits) states the semantic
 // identity would not — exactly the silent-wrong-answer class of bug the
-// fuzzer exists to catch.
+// fuzzer exists to catch. The same corpus feeds the retained-state
+// arena's round-trip property.
 func FuzzBinaryKeyAgreement(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{3, 1, 2, 0, 1, 2, 3, 0, 1})
@@ -75,5 +104,6 @@ func FuzzBinaryKeyAgreement(f *testing.F) {
 		// The equal direction, on distinct backing arrays: a deep copy
 		// must encode identically under both schemes.
 		assertEncodingAgreement(t, a, a.clone())
+		assertArenaRoundTrip(t, a)
 	})
 }

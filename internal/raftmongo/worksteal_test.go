@@ -1,0 +1,71 @@
+package raftmongo
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/tla"
+)
+
+// TestWorkStealMatchesLevelSync is the spec-level acceptance check for the
+// barrier-free scheduler on the paper's replica-set spec: across both
+// variants, with and without symmetry reduction and encoded (arena)
+// retention, work-stealing must reproduce the level-sync verdicts and —
+// on clean runs — the visited-state, transition and terminal counts. With
+// a tripwire invariant the verdict must stay a violation of the same
+// invariant (the work-steal counterexample need not be shortest). Runs
+// race-clean in CI's work-steal smoke.
+func TestWorkStealMatchesLevelSync(t *testing.T) {
+	cfg := Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
+	for name, mk := range map[string]func(Config) *tla.Spec[State]{"V1": SpecV1, "V2": SpecV2} {
+		for _, symmetric := range []bool{false, true} {
+			for _, tripwire := range []bool{false, true} {
+				for _, arena := range []bool{false, true} {
+					c := cfg
+					c.Symmetric = symmetric
+					build := func() *tla.Spec[State] {
+						spec := mk(c)
+						if tripwire {
+							spec.Invariants = append(spec.Invariants, tla.Invariant[State]{
+								Name: "OplogNeverFull",
+								Check: func(s State) error {
+									for n, log := range s.Oplogs {
+										if len(log) >= c.MaxLogLen {
+											return fmt.Errorf("node %d oplog reached %d", n, len(log))
+										}
+									}
+									return nil
+								},
+							})
+						}
+						return spec
+					}
+					desc := fmt.Sprintf("%s/symmetric=%v/tripwire=%v/arena=%v", name, symmetric, tripwire, arena)
+					want, wantErr := tla.Check(build(), tla.Options{Workers: 4})
+					got, gotErr := tla.Check(build(), tla.Options{
+						Workers:    4,
+						Schedule:   tla.ScheduleWorkSteal,
+						StateArena: arena,
+					})
+					if errors.Is(wantErr, tla.ErrInvariantViolated) != errors.Is(gotErr, tla.ErrInvariantViolated) {
+						t.Fatalf("%s: verdicts differ: levelsync err=%v worksteal err=%v", desc, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						if want.Violation.Invariant != got.Violation.Invariant {
+							t.Fatalf("%s: violated invariants differ: %s vs %s", desc, want.Violation.Invariant, got.Violation.Invariant)
+						}
+						continue
+					}
+					if gotErr != nil {
+						t.Fatalf("%s: worksteal err=%v on a clean spec", desc, gotErr)
+					}
+					if want.Distinct != got.Distinct || want.Transitions != got.Transitions || want.Terminal != got.Terminal {
+						t.Fatalf("%s: counters differ:\n levelsync distinct=%d transitions=%d terminal=%d\n worksteal distinct=%d transitions=%d terminal=%d",
+							desc, want.Distinct, want.Transitions, want.Terminal, got.Distinct, got.Transitions, got.Terminal)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package scenarios
+
+import (
+	"testing"
+
+	"repro/internal/raftmongo"
+	"repro/internal/tla"
+)
+
+// TestWorkStealMatchesLevelSync cross-checks the barrier-free scheduler on
+// the specification the scenario catalogue is checked against (RaftMongo
+// V2, the gossiped-terms variant), bounded to the paper's configuration
+// and sized from the catalogue's cluster sizes: work-stealing exploration
+// must report the same visited-state, transition and terminal counts as
+// the level-synchronized oracle, with and without arena retention.
+func TestWorkStealMatchesLevelSync(t *testing.T) {
+	nodes := map[int]bool{}
+	for _, sc := range TracingCompatible() {
+		nodes[sc.Nodes] = true
+	}
+	if !nodes[3] {
+		t.Fatal("scenario catalogue has no 3-node scenarios")
+	}
+	cfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
+	want, err := tla.Check(raftmongo.SpecV2(cfg), tla.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arena := range []bool{false, true} {
+		got, err := tla.Check(raftmongo.SpecV2(cfg), tla.Options{
+			Workers:    4,
+			Schedule:   tla.ScheduleWorkSteal,
+			StateArena: arena,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Distinct != got.Distinct || want.Transitions != got.Transitions || want.Terminal != got.Terminal {
+			t.Fatalf("arena=%v: counters differ: levelsync %d/%d/%d vs worksteal %d/%d/%d",
+				arena, want.Distinct, want.Transitions, want.Terminal, got.Distinct, got.Transitions, got.Terminal)
+		}
+	}
+}

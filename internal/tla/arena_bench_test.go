@@ -1,0 +1,92 @@
+package tla
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// heavyState mimics a slice-heavy spec state (the replica-set shape:
+// identity-indexed slices of slices) whose live retention costs far more
+// than its byte encoding — the workload Options.StateArena exists for.
+type heavyState struct {
+	Roles []byte
+	Terms []int
+	Logs  [][]int
+}
+
+func (s heavyState) Key() string {
+	return fmt.Sprintf("%v/%v/%v", s.Roles, s.Terms, s.Logs)
+}
+
+func (s heavyState) AppendBinary(buf []byte) []byte {
+	buf = append(buf, byte(len(s.Roles)))
+	for i := range s.Roles {
+		buf = append(buf, s.Roles[i])
+		buf = binary.AppendUvarint(buf, uint64(s.Terms[i]))
+		buf = binary.AppendUvarint(buf, uint64(len(s.Logs[i])))
+		for _, t := range s.Logs[i] {
+			buf = binary.AppendUvarint(buf, uint64(t))
+		}
+	}
+	return buf
+}
+
+func mkHeavyState(i int) heavyState {
+	s := heavyState{Roles: make([]byte, 3), Terms: make([]int, 3), Logs: make([][]int, 3)}
+	for n := 0; n < 3; n++ {
+		s.Roles[n] = byte((i + n) % 2)
+		s.Terms[n] = (i >> n) % 4
+		log := make([]int, (i+n)%4)
+		for j := range log {
+			log[j] = (i + j) % 4
+		}
+		s.Logs[n] = log
+	}
+	return s
+}
+
+// BenchmarkArenaRetention measures what the retained-state arena is for:
+// the heap bytes one discovered state costs to retain until the end of a
+// run, live S values (the default) against arena encodings
+// (Options.StateArena). The retained-B/state metric is heap growth across
+// retaining 50k states, measured between forced GCs with the retention
+// still referenced; arena mode must come in severalfold under live mode
+// on this slice-heavy state.
+func BenchmarkArenaRetention(b *testing.B) {
+	const n = 50000
+	spec := &Spec[heavyState]{
+		Name:    "heavy",
+		Actions: []Action[heavyState]{{Name: "Step"}},
+	}
+	for _, mode := range []struct {
+		name  string
+		arena bool
+	}{{"live", false}, {"arena", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				ret := newRetainer(spec, Options{StateArena: mode.arena})
+				var encBuf []byte
+				for j := 0; j < n; j++ {
+					s := mkHeavyState(j)
+					encBuf = s.AppendBinary(encBuf[:0])
+					if err := ret.add(s, encBuf, j-1, "Step", j); err != nil {
+						b.Fatal(err)
+					}
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&after)
+				b.ReportMetric((float64(after.HeapAlloc)-float64(before.HeapAlloc))/n, "retained-B/state")
+				runtime.KeepAlive(ret)
+				if err := ret.close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+package tla
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestArenaRoundTrip is the arena's core property test: every encoding
+// added comes back byte-identical, across segment boundaries and through
+// forced disk spills.
+func TestArenaRoundTrip(t *testing.T) {
+	for _, budget := range []int64{0, 1, 1 << 10} {
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			a := newStateArena(budget)
+			defer a.close()
+			rng := rand.New(rand.NewSource(1))
+			var want [][]byte
+			for i := 0; i < 500; i++ {
+				enc := make([]byte, rng.Intn(64)+1)
+				rng.Read(enc)
+				want = append(want, enc)
+				if err := a.add(enc, i-1, uint16(i%3), i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if a.len() != len(want) {
+				t.Fatalf("arena holds %d records, want %d", a.len(), len(want))
+			}
+			// One buffer reused across reads: encoding copies, so earlier
+			// results must never be clobbered by later reads.
+			var buf []byte
+			for id, enc := range want {
+				var err error
+				buf, err = a.encoding(id, buf[:0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := buf
+				if !bytes.Equal(got, enc) {
+					t.Fatalf("budget=%d id=%d: round-trip %x != original %x", budget, id, got, enc)
+				}
+				m := a.meta[id]
+				if int(m.parent) != id-1 || int(m.depth) != id || int(m.act) != id%3 {
+					t.Fatalf("id=%d meta = %+v", id, m)
+				}
+			}
+		})
+	}
+}
+
+// TestArenaOversizedEncoding pins the dedicated-segment path: an encoding
+// larger than a whole segment still round-trips, resident and spilled.
+func TestArenaOversizedEncoding(t *testing.T) {
+	for _, budget := range []int64{0, 1} {
+		a := newStateArena(budget)
+		big := bytes.Repeat([]byte{0xAB}, arenaSegBytes+17)
+		if err := a.add([]byte("small"), -1, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.add(big, 0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.encoding(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, big) {
+			t.Fatalf("budget=%d: oversized encoding corrupted (len %d vs %d)", budget, len(got), len(big))
+		}
+		a.close()
+	}
+}
+
+// TestArenaSpillFileLifecycle pins the disk-backing contract: a
+// one-byte budget spills every segment, the spill file exists during the
+// run, and close removes it.
+func TestArenaSpillFileLifecycle(t *testing.T) {
+	a := newStateArena(1)
+	if err := a.add([]byte("abc"), -1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.file == nil {
+		t.Fatal("one-byte budget did not open a spill file")
+	}
+	name := a.file.Name()
+	if _, err := os.Stat(name); err != nil {
+		t.Fatalf("spill file missing during run: %v", err)
+	}
+	if !a.segs[0].spilled {
+		t.Fatal("segment not marked spilled under a one-byte budget")
+	}
+	if err := a.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatalf("spill file survived close: stat err = %v", err)
+	}
+	// Closing a never-spilled arena is a no-op.
+	if err := newStateArena(0).close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertArenaAgrees cross-checks Options.StateArena against live
+// retention: identical counters and — where both report traces — the
+// trace contract (live mode: byte-identical; arena mode without symmetry:
+// also byte-identical, since the replay matches injective encodings).
+func assertArenaAgrees[S State](t *testing.T, label string, spec *Spec[S], opts Options) {
+	t.Helper()
+	want, wantErr := Check(spec, opts)
+	for _, budget := range []int64{0, 1} {
+		aOpts := opts
+		aOpts.StateArena = true
+		aOpts.MemoryBudgetBytes = budget
+		got, gotErr := Check(spec, aOpts)
+		desc := fmt.Sprintf("%s/arena-budget=%d", label, budget)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: err = %v, want %v", desc, gotErr, wantErr)
+		}
+		if got.Distinct != want.Distinct || got.Transitions != want.Transitions ||
+			got.Depth != want.Depth || got.Terminal != want.Terminal ||
+			got.ConstraintCuts != want.ConstraintCuts {
+			t.Fatalf("%s: counters differ:\n got  %+v\n want %+v", desc, got, want)
+		}
+		if (want.Violation == nil) != (got.Violation == nil) {
+			t.Fatalf("%s: violation = %v, want %v", desc, got.Violation, want.Violation)
+		}
+		if want.Violation != nil {
+			wv, gv := want.Violation, got.Violation
+			if gv.Invariant != wv.Invariant {
+				t.Fatalf("%s: invariant %s, want %s", desc, gv.Invariant, wv.Invariant)
+			}
+			wk, gk := traceKeys(wv.Trace), traceKeys(gv.Trace)
+			if len(wk) != len(gk) {
+				t.Fatalf("%s: trace lengths differ: %d vs %d", desc, len(gk), len(wk))
+			}
+			for i := range wk {
+				if wk[i] != gk[i] {
+					t.Fatalf("%s: replayed trace diverges at %d: %s vs %s", desc, i, gk[i], wk[i])
+				}
+			}
+		}
+	}
+}
+
+// TestArenaMatchesLiveRetention is the engine-level arena cross-check:
+// level-synchronized explorations with encoded retention (resident and
+// forced-to-disk) must be observationally identical to live retention —
+// counters, verdicts, and replayed counterexample traces — at several
+// worker counts, on the hand-written and randomized spec families.
+func TestArenaMatchesLiveRetention(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		assertArenaAgrees(t, fmt.Sprintf("counter/workers=%d", w), counterSpec(12), Options{Workers: w})
+	}
+
+	viol := counterSpec(8)
+	viol.Invariants = append(viol.Invariants, Invariant[counterState]{
+		Name: "ANeverFive",
+		Check: func(s counterState) error {
+			if s.A == 5 {
+				return errors.New("A reached 5")
+			}
+			return nil
+		},
+	})
+	assertArenaAgrees(t, "counter-violation", viol, Options{})
+	assertArenaAgrees(t, "counter-bounded", counterSpec(40), Options{MaxStates: 100, MaxDepth: 9})
+
+	for seed := int64(0); seed < 8; seed++ {
+		assertArenaAgrees(t, fmt.Sprintf("random-%d", seed), randomSpec(seed), Options{Workers: 4})
+	}
+}
+
+// TestArenaUnderWorkSteal composes the two tentpole features: encoded
+// retention under the barrier-free scheduler must preserve counts and
+// produce replayable counterexamples.
+func TestArenaUnderWorkSteal(t *testing.T) {
+	spec := counterSpec(12)
+	assertWorkStealAgrees(t, "arena-worksteal", spec, Options{StateArena: true})
+
+	viol := counterSpec(8)
+	viol.Invariants = append(viol.Invariants, Invariant[counterState]{
+		Name: "ANeverFive",
+		Check: func(s counterState) error {
+			if s.A == 5 {
+				return errors.New("A reached 5")
+			}
+			return nil
+		},
+	})
+	res, err := Check(viol, Options{Workers: 4, Schedule: ScheduleWorkSteal, StateArena: true})
+	if !errors.Is(err, ErrInvariantViolated) {
+		t.Fatalf("err = %v, want violation", err)
+	}
+	assertTraceIsBehaviour(t, "arena-worksteal-violation", viol, res.Violation)
+}
+
+// TestArenaSymmetryTrace pins the exact-replay property under symmetry
+// reduction: the arena stores plain (not orbit-canonical) encodings, so
+// the replayed counterexample is byte-identical to live retention's even
+// though the visited set dedups on orbit representatives.
+func TestArenaSymmetryTrace(t *testing.T) {
+	mk := func() *Spec[binState] {
+		spec := binSpecVisitor(20)
+		spec.Invariants = []Invariant[binState]{{
+			Name: "SumBelow7",
+			Check: func(s binState) error {
+				if s.A+s.B >= 7 {
+					return errors.New("sum reached 7")
+				}
+				return nil
+			},
+		}}
+		return spec
+	}
+	want, wantErr := Check(mk(), Options{})
+	got, gotErr := Check(mk(), Options{StateArena: true})
+	if !errors.Is(wantErr, ErrInvariantViolated) || !errors.Is(gotErr, ErrInvariantViolated) {
+		t.Fatalf("verdicts: live=%v arena=%v, want violations", wantErr, gotErr)
+	}
+	wk, gk := traceKeys(want.Violation.Trace), traceKeys(got.Violation.Trace)
+	if !reflect.DeepEqual(gk, wk) {
+		t.Fatalf("replayed trace differs from live retention under symmetry:\n got  %v\n want %v", gk, wk)
+	}
+	if !reflect.DeepEqual(got.Violation.TraceActs, want.Violation.TraceActs) {
+		t.Fatalf("replayed acts differ: %v vs %v", got.Violation.TraceActs, want.Violation.TraceActs)
+	}
+	assertTraceIsBehaviour(t, "arena-symmetry", mk(), got.Violation)
+}
+
+// TestArenaRejectsGraph pins the option conflict: RecordGraph retains
+// every live state, which is exactly what StateArena exists to avoid.
+func TestArenaRejectsGraph(t *testing.T) {
+	_, err := Check(counterSpec(3), Options{StateArena: true, RecordGraph: true})
+	if !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("StateArena+RecordGraph = %v, want ErrInvalidOptions", err)
+	}
+}

@@ -94,33 +94,13 @@ type codec[S State] struct {
 // performed once, on the zero value of S, so the per-state cost is one
 // interface conversion rather than a type switch.
 func newCodec[S State](spec *Spec[S], forceKeys bool) *codec[S] {
-	c := &codec[S]{symFactory: symmetryFactory(spec)}
+	c := &codec[S]{symFactory: spec.SymmetryVisitor}
 	var zero S
 	if _, ok := any(zero).(BinaryState); ok && !forceKeys {
 		c.bin = func(s S, buf []byte) []byte { return any(s).(BinaryState).AppendBinary(buf) }
 	}
 	c.bindOrbit()
 	return c
-}
-
-// symmetryFactory resolves the spec's symmetry declaration to a per-worker
-// enumerator factory: SymmetryVisitor as-is, or the deprecated
-// materializing Symmetry wrapped into a visitor with identical semantics.
-func symmetryFactory[S State](spec *Spec[S]) func() OrbitVisitor[S] {
-	switch {
-	case spec.SymmetryVisitor != nil:
-		return spec.SymmetryVisitor
-	case spec.Symmetry != nil:
-		orbit := spec.Symmetry
-		return func() OrbitVisitor[S] {
-			return func(s S, visit func(S)) {
-				for _, t := range orbit(s) {
-					visit(t)
-				}
-			}
-		}
-	}
-	return nil
 }
 
 // bindOrbit instantiates this codec's enumerator and the visit closure it

@@ -125,8 +125,9 @@ func (p chunkPlan) run(fn func(worker, chunk, lo, hi int)) {
 	wg.Wait()
 }
 
-// runEngine is the unified exploration loop behind Check: one
-// implementation for every worker count and store combination.
+// runEngine is the unified level-synchronized exploration loop behind
+// Check: one implementation for every worker count and store combination.
+// (ScheduleWorkSteal runs the barrier-free loop in schedule.go instead.)
 func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStore, fr FrontierStore) (*Result[S], error) {
 	res := &Result[S]{Spec: spec.Name}
 	if opts.RecordGraph {
@@ -142,20 +143,31 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	for w := 1; w < workers; w++ {
 		wcods[w] = cod.clone()
 	}
-	var entries []stateEntry
-	var states []S
+	ret := newRetainer(spec, opts)
+	defer ret.close()
+	var arenaEnc []byte // addState's plain-encoding scratch (arena mode)
 
 	// addState installs a newly discovered state (entry.ID must be -1):
-	// id assignment, depth and graph bookkeeping, invariant checks,
+	// id assignment, retention (live values, or arena encodings under
+	// Options.StateArena), depth and graph bookkeeping, invariant checks,
 	// constraint and depth bounds. Runs on the merge goroutine only.
 	addState := func(s S, e *VisitedEntry, parent int, act string, depth int) (*Violation[S], error) {
-		id := len(states)
+		id := ret.len()
 		if opts.MaxStates > 0 && id >= opts.MaxStates {
 			return nil, ErrStateLimit
 		}
 		e.ID = id
-		states = append(states, s)
-		entries = append(entries, stateEntry{id: id, parent: parent, act: act, depth: depth})
+		var enc []byte
+		if ret.arena != nil {
+			// The arena stores the plain encoding (one AppendBinary here
+			// on the merge goroutine — not canonical, whose orbit scan the
+			// workers already paid for deduplication).
+			arenaEnc = cod.encode(s, arenaEnc[:0])
+			enc = arenaEnc
+		}
+		if err := ret.add(s, enc, parent, act, depth); err != nil {
+			return nil, err
+		}
 		if depth > res.Depth {
 			res.Depth = depth
 		}
@@ -165,7 +177,10 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		}
 		for _, inv := range spec.Invariants {
 			if err := inv.Check(s); err != nil {
-				trace, acts := rebuildTrace(entries, states, id)
+				trace, acts, terr := ret.trace(spec, cod, id)
+				if terr != nil {
+					return nil, terr
+				}
 				return &Violation[S]{Invariant: inv.Name, Err: err, Trace: trace, TraceActs: acts}, nil
 			}
 		}
@@ -174,6 +189,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 			res.ConstraintCuts++
 		}
 		if withinConstraint && (opts.MaxDepth == 0 || depth < opts.MaxDepth) {
+			ret.retainLive(id, s)
 			fr.Push(id)
 		}
 		return nil, nil
@@ -184,6 +200,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		if e.ID < 0 {
 			viol, err := addState(s, e, -1, "", 0)
 			if err != nil {
+				res.Distinct = ret.len()
 				return res, err
 			}
 			if viol != nil {
@@ -191,7 +208,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 					res.Graph.Inits = append(res.Graph.Inits, e.ID)
 				}
 				res.Violation = viol
-				res.Distinct = len(states)
+				res.Distinct = ret.len()
 				return res, viol
 			}
 		}
@@ -200,7 +217,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		}
 	}
 	if err := vs.EndLevel(); err != nil {
-		res.Distinct = len(states)
+		res.Distinct = ret.len()
 		return res, err
 	}
 
@@ -213,9 +230,9 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		if len(frontier) == 0 {
 			break
 		}
-		outs := expandFrontier(spec, wcods, states, frontier, vs, &pool)
+		outs := expandFrontier(spec, wcods, ret, frontier, vs, &pool)
 		if err := vs.ResolveLevel(); err != nil {
-			res.Distinct = len(states)
+			res.Distinct = ret.len()
 			return res, err
 		}
 
@@ -231,7 +248,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 					res.Terminal++
 					continue
 				}
-				depth := entries[id].depth
+				depth := ret.depthOf(id)
 				for j := 0; j < n; j++ {
 					c := out.cands[ci]
 					ci++
@@ -242,7 +259,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 						var err error
 						viol, err = addState(c.succ, c.entry, id, c.act, depth+1)
 						if err != nil {
-							res.Distinct = len(states)
+							res.Distinct = ret.len()
 							return res, err
 						}
 						sid = c.entry.ID
@@ -252,19 +269,22 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 					}
 					if viol != nil {
 						res.Violation = viol
-						res.Distinct = len(states)
+						res.Distinct = ret.len()
 						return res, viol
 					}
 				}
 			}
 		}
 		pool.free(outs)
+		// The level's frontier states are fully expanded: the arena drops
+		// their live values (live retention keeps everything by design).
+		ret.releaseAll(frontier)
 		if err := vs.EndLevel(); err != nil {
-			res.Distinct = len(states)
+			res.Distinct = ret.len()
 			return res, err
 		}
 	}
-	res.Distinct = len(states)
+	res.Distinct = ret.len()
 	return res, nil
 }
 
@@ -320,7 +340,7 @@ func (p *chunkPool[S]) free(outs []chunkOut[S]) {
 // promise. Successors whose entry is still unassigned keep the state:
 // they are either genuinely new or, under the spilling store, duplicates
 // that ResolveLevel will settle before the merge looks.
-func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], states []S, frontier []int, vs VisitedStore, pool *chunkPool[S]) []chunkOut[S] {
+func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S], frontier []int, vs VisitedStore, pool *chunkPool[S]) []chunkOut[S] {
 	plan := planChunks(len(frontier), len(wcods))
 	outs := make([]chunkOut[S], plan.nChunks)
 	pool.seed(outs)
@@ -328,7 +348,7 @@ func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], states []S, front
 		wcod := wcods[w]
 		out := outs[c] // recycled buffers (or nil), length 0
 		for _, id := range frontier[lo:hi] {
-			s := states[id]
+			s := ret.stateOf(id)
 			before := len(out.cands)
 			for _, a := range spec.Actions {
 				for _, succ := range a.Next(s) {

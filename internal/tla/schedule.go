@@ -1,0 +1,507 @@
+package tla
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the engine's second scheduling mode. The default
+// level-synchronized loop (engine.go) buys determinism with a per-level
+// barrier: every BFS level ends with all workers joining and one goroutine
+// replaying the level's candidates. On wide-then-narrow state spaces the
+// barrier leaves most workers idle at every level edge — the skew problem
+// of any bulk-synchronous traversal.
+//
+// ScheduleWorkSteal drops the barrier entirely. Each worker owns a deque
+// of pending states: it pushes and pops at the bottom (LIFO, keeping the
+// working set hot and small) and, when empty, steals the oldest half of a
+// victim's deque (FIFO from the top — the shallowest states, which head
+// the largest unexplored subtrees). Deduplication switches from the
+// two-phase claim/merge protocol to claim-on-insert: a sharded locked map
+// assigns the dense state id at first insertion, so there is no merge
+// phase, no candidate buffering, and no level to synchronize.
+//
+// What is preserved: verdicts (violation or not, ErrStateLimit or not),
+// distinct-state counts, transition and terminal counts on runs that
+// complete, and invariant results — cross-checked against the
+// level-synchronized oracle by TestWorkStealMatchesLevelSync here and in
+// the spec packages. What is not: BFS order. A reported counterexample is
+// a real trace but not necessarily a shortest one, Result.Depth reports
+// the deepest discovery depth (an upper bound on the BFS depth), and a
+// recorded graph lists states and edges in nondeterministic order.
+// Because a depth bound needs true BFS depths to cut the same states,
+// MaxDepth runs fall back to level-sync, as do runs using the
+// level-synchronized spilling visited store (MemoryBudgetBytes) or
+// caller-plugged stores — see Options.effectiveSchedule.
+//
+// Under work-stealing, Invariants and Constraint are called from worker
+// goroutines (the level-synchronized engine calls them on the merge
+// goroutine only); like Next and Key they must not mutate shared state.
+
+// Schedule selects the exploration engine's scheduling mode.
+type Schedule int
+
+const (
+	// ScheduleLevelSync is the default level-synchronized BFS: identical
+	// results at every worker count, shortest counterexamples, exact BFS
+	// depths.
+	ScheduleLevelSync Schedule = iota
+	// ScheduleWorkSteal is the barrier-free mode: per-worker steal-half
+	// deques and claim-on-insert deduplication. Identical verdicts and
+	// state counts, nondeterministic order; see the file comment for the
+	// exact contract and the fallbacks.
+	ScheduleWorkSteal
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleLevelSync:
+		return "levelsync"
+	case ScheduleWorkSteal:
+		return "worksteal"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// ParseSchedule maps the -schedule CLI flag to a Schedule.
+func ParseSchedule(name string) (Schedule, error) {
+	switch name {
+	case "levelsync", "level-sync":
+		return ScheduleLevelSync, nil
+	case "worksteal", "work-steal":
+		return ScheduleWorkSteal, nil
+	}
+	return 0, fmt.Errorf("%w: unknown schedule %q (levelsync, worksteal)", ErrInvalidOptions, name)
+}
+
+// effectiveSchedule resolves the schedule Check actually runs. Work-steal
+// falls back to level-sync when the options demand level semantics:
+// MaxDepth needs true BFS depths to cut the same states, the spilling
+// visited store (MemoryBudgetBytes) resolves lookups once per level, and
+// caller-plugged stores implement the level protocol. The fallback is
+// documented on Options.Schedule; results are correct either way.
+func (o Options) effectiveSchedule() Schedule {
+	if o.Schedule != ScheduleWorkSteal {
+		return ScheduleLevelSync
+	}
+	if o.MaxDepth > 0 || o.MemoryBudgetBytes > 0 || o.Visited != nil || o.Frontier != nil {
+		return ScheduleLevelSync
+	}
+	return ScheduleWorkSteal
+}
+
+// wsItem is one unit of pending work: a discovered state awaiting
+// expansion, with its discovery depth (successors are depth+1).
+type wsItem struct {
+	id    int
+	depth int
+}
+
+// wsDeque is one worker's pending-work deque. The owner pushes and pops at
+// the bottom; thieves take the oldest half from the top. A plain mutex
+// guards it: owner operations are uncontended in the common case, and
+// steal-half moves items in one critical section instead of the
+// item-at-a-time CAS loop of a lock-free Chase–Lev deque — at the steal
+// rates of state exploration (a steal refills a worker for thousands of
+// expansions) the mutex is never the bottleneck.
+type wsDeque struct {
+	mu    sync.Mutex
+	head  int // items[:head] have been stolen
+	items []wsItem
+}
+
+func (d *wsDeque) push(it wsItem) {
+	d.mu.Lock()
+	d.items = append(d.items, it)
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) pop() (wsItem, bool) {
+	d.mu.Lock()
+	if d.head == len(d.items) {
+		d.mu.Unlock()
+		return wsItem{}, false
+	}
+	it := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	if d.head == len(d.items) {
+		d.head = 0
+		d.items = d.items[:0]
+	}
+	d.mu.Unlock()
+	return it, true
+}
+
+// stealHalf moves the oldest half of the deque (at least one item) into
+// buf and returns how many were taken. The thief copies out under the
+// victim's lock and requeues into its own deque afterwards, so no two
+// deque locks are ever held together.
+func (d *wsDeque) stealHalf(buf *[]wsItem) int {
+	d.mu.Lock()
+	avail := len(d.items) - d.head
+	if avail == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	n := (avail + 1) / 2
+	*buf = append((*buf)[:0], d.items[d.head:d.head+n]...)
+	d.head += n
+	if d.head == len(d.items) {
+		d.head = 0
+		d.items = d.items[:0]
+	}
+	d.mu.Unlock()
+	return n
+}
+
+// wsShard is one lock stripe of the claim-on-insert visited map.
+type wsShard struct {
+	mu    sync.Mutex
+	byFP  map[uint64]int // fingerprint mode
+	byKey map[string]int // collision-free mode
+}
+
+// wsVisited is the work-stealing deduplicator: encodings map directly to
+// dense state ids, assigned at first insertion under the shard lock — the
+// claim-on-insert replacement for the level-synchronized claim/merge
+// split. Like the level-sync stores it dedups on 64-bit fingerprints by
+// default and on full encodings in collision-free mode (always at
+// Workers == 1).
+type wsVisited struct {
+	collisionFree bool
+	shards        [visitedShards]wsShard
+}
+
+func newWSVisited(collisionFree bool) *wsVisited {
+	vs := &wsVisited{collisionFree: collisionFree}
+	for i := range vs.shards {
+		if collisionFree {
+			vs.shards[i].byKey = make(map[string]int)
+		} else {
+			vs.shards[i].byFP = make(map[uint64]int)
+		}
+	}
+	return vs
+}
+
+// claim resolves enc to its dense state id, inserting on first sight.
+// alloc runs under the shard lock, exactly once per distinct encoding, to
+// register the state and assign its id; a negative id from alloc refuses
+// the insert (state limit or stop) and leaves the encoding unclaimed.
+func (vs *wsVisited) claim(enc []byte, alloc func() int) (id int, isNew bool) {
+	fp := fingerprint(enc)
+	sh := &vs.shards[fp&(visitedShards-1)]
+	sh.mu.Lock()
+	if vs.collisionFree {
+		if id, ok := sh.byKey[string(enc)]; ok {
+			sh.mu.Unlock()
+			return id, false
+		}
+		id = alloc()
+		if id >= 0 {
+			sh.byKey[string(enc)] = id
+		}
+	} else {
+		if id, ok := sh.byFP[fp]; ok {
+			sh.mu.Unlock()
+			return id, false
+		}
+		id = alloc()
+		if id >= 0 {
+			sh.byFP[fp] = id
+		}
+	}
+	sh.mu.Unlock()
+	return id, id >= 0
+}
+
+// wsEngine is the shared state of one work-stealing run.
+type wsEngine[S State] struct {
+	spec *Spec[S]
+	opts Options
+	vs   *wsVisited
+	res  *Result[S]
+
+	// mu guards registration: the retainer (id assignment, arena append,
+	// live window), the recorded graph's state columns, and the first
+	// failure. Duplicate claims never take it.
+	mu  sync.Mutex
+	ret *retainer[S]
+	// violID/violInv/violErr record the first invariant violation; the
+	// trace is reconstructed after the workers join.
+	violID  int
+	violInv string
+	violErr error
+	runErr  error // ErrStateLimit or an arena I/O error; first wins
+
+	stop    atomic.Bool
+	pending atomic.Int64 // queued-but-unexpanded items, for termination
+	deques  []wsDeque
+}
+
+// fail records the run's first terminal condition and stops the workers.
+// Callers must hold e.mu.
+func (e *wsEngine[S]) failLocked(err error) {
+	if e.runErr == nil && e.violErr == nil {
+		e.runErr = err
+	}
+	e.stop.Store(true)
+}
+
+// wsWorker is one worker's private context. Its counters merge into the
+// Result after the join; alloc carries the pending registration's fields
+// so vs.claim's callback is a method value bound once, not a closure
+// allocated per successor.
+type wsWorker[S State] struct {
+	e       *wsEngine[S]
+	idx     int
+	cod     *codec[S]
+	deque   *wsDeque
+	stealBf []wsItem
+	allocFn func() int
+
+	// pending registration, set before each claim
+	regS      S
+	regEnc    []byte
+	regParent int
+	regAct    string
+	regDepth  int
+	arenaBuf  []byte // alloc's plain-encoding scratch (arena mode)
+
+	transitions, terminal, cuts int
+	maxDepth                    int
+	edges                       []Edge
+}
+
+// alloc registers the pending state under the engine lock: dense id
+// assignment, retention (live or arena), and graph state columns. Runs
+// inside vs.claim with the shard lock held; the lock order shard → engine
+// is the only nesting in the file.
+func (w *wsWorker[S]) alloc() int {
+	e := w.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.ret.len()
+	if e.opts.MaxStates > 0 && id >= e.opts.MaxStates {
+		e.failLocked(ErrStateLimit)
+		return -1
+	}
+	enc := w.regEnc
+	if e.ret.arena != nil {
+		// The arena stores the plain encoding, not the orbit-canonical one
+		// the claim deduped on; codec.encode only touches the passed
+		// buffer, so regEnc (aliasing the codec's canonical scratch) stays
+		// valid for the caller's map insert.
+		w.arenaBuf = w.cod.encode(w.regS, w.arenaBuf[:0])
+		enc = w.arenaBuf
+	}
+	if err := e.ret.add(w.regS, enc, w.regParent, w.regAct, w.regDepth); err != nil {
+		e.failLocked(err)
+		return -1
+	}
+	// Retain optimistically: almost every state is expanded. A constraint
+	// or stop releases it right after registration.
+	e.ret.retainLive(id, w.regS)
+	if e.res.Graph != nil {
+		e.res.Graph.States = append(e.res.Graph.States, w.regS)
+		e.res.Graph.Keys = append(e.res.Graph.Keys, w.regS.Key())
+	}
+	return id
+}
+
+// register claims one successor (or initial state): deduplication, and for
+// first sights the invariant checks, constraint, and enqueue. Returns the
+// state's id, or -1 when the run is stopping.
+func (w *wsWorker[S]) register(s S, parent int, act string, depth int) int {
+	e := w.e
+	w.regS, w.regEnc = s, w.cod.canonical(s)
+	w.regParent, w.regAct, w.regDepth = parent, act, depth
+	id, isNew := e.vs.claim(w.regEnc, w.allocFn)
+	if id < 0 {
+		return -1
+	}
+	if !isNew {
+		return id
+	}
+	if depth > w.maxDepth {
+		w.maxDepth = depth
+	}
+	for _, inv := range e.spec.Invariants {
+		if err := inv.Check(s); err != nil {
+			e.mu.Lock()
+			if e.violErr == nil && e.runErr == nil {
+				e.violID, e.violInv, e.violErr = id, inv.Name, err
+			}
+			e.stop.Store(true)
+			e.mu.Unlock()
+			return id
+		}
+	}
+	if e.spec.Constraint != nil && !e.spec.Constraint(s) {
+		w.cuts++
+		e.mu.Lock()
+		e.ret.release(id)
+		e.mu.Unlock()
+		return id
+	}
+	e.pending.Add(1)
+	w.deque.push(wsItem{id: id, depth: depth})
+	return id
+}
+
+// expand pops one state's live value and registers every successor.
+func (w *wsWorker[S]) expand(it wsItem) {
+	e := w.e
+	e.mu.Lock()
+	s := e.ret.stateOf(it.id)
+	e.mu.Unlock()
+	succs := 0
+	for _, a := range e.spec.Actions {
+		for _, succ := range a.Next(s) {
+			succs++
+			w.transitions++
+			sid := w.register(succ, it.id, a.Name, it.depth+1)
+			if sid < 0 || e.stop.Load() {
+				return
+			}
+			if e.res.Graph != nil {
+				w.edges = append(w.edges, Edge{From: it.id, Action: a.Name, To: sid})
+			}
+		}
+	}
+	if succs == 0 {
+		w.terminal++
+	}
+	e.mu.Lock()
+	e.ret.release(it.id)
+	e.mu.Unlock()
+}
+
+// run is the worker loop: pop own work, else steal half a victim's deque,
+// else idle until the global pending count drains to zero.
+func (w *wsWorker[S]) run() {
+	e := w.e
+	spins := 0
+	for {
+		if e.stop.Load() {
+			return
+		}
+		it, ok := w.deque.pop()
+		if !ok {
+			it, ok = w.trySteal()
+		}
+		if !ok {
+			if e.pending.Load() == 0 {
+				return
+			}
+			spins++
+			if spins < 32 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		spins = 0
+		w.expand(it)
+		if e.pending.Add(-1) == 0 {
+			return
+		}
+	}
+}
+
+// trySteal takes the oldest half of the first non-empty victim deque,
+// requeues all but one item locally, and returns that one.
+func (w *wsWorker[S]) trySteal() (wsItem, bool) {
+	for i := 1; i < len(w.e.deques); i++ {
+		victim := &w.e.deques[(w.idx+i)%len(w.e.deques)]
+		if n := victim.stealHalf(&w.stealBf); n > 0 {
+			for _, it := range w.stealBf[1:n] {
+				w.deque.push(it)
+			}
+			return w.stealBf[0], true
+		}
+	}
+	return wsItem{}, false
+}
+
+// runWorkSteal is the barrier-free exploration loop behind
+// Options.Schedule == ScheduleWorkSteal.
+func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (*Result[S], error) {
+	res := &Result[S]{Spec: spec.Name}
+	if opts.RecordGraph {
+		res.Graph = &Graph[S]{}
+	}
+	ret := newRetainer(spec, opts)
+	defer ret.close()
+	e := &wsEngine[S]{
+		spec:   spec,
+		opts:   opts,
+		vs:     newWSVisited(opts.CollisionFree || workers == 1),
+		res:    res,
+		ret:    ret,
+		violID: -1,
+		deques: make([]wsDeque, workers),
+	}
+	cod := newCodec(spec, opts.ForceKeyEncoding)
+	ws := make([]*wsWorker[S], workers)
+	for i := range ws {
+		wcod := cod
+		if i > 0 {
+			wcod = cod.clone()
+		}
+		ws[i] = &wsWorker[S]{e: e, idx: i, cod: wcod, deque: &e.deques[i]}
+		ws[i].allocFn = ws[i].alloc
+	}
+
+	// Register initial states on this goroutine through worker 0's context
+	// (the workers have not started; no concurrency yet). Init items land
+	// on worker 0's deque — steal-half spreads them within microseconds.
+	for _, s := range spec.Init() {
+		id := ws[0].register(s, -1, "", 0)
+		if res.Graph != nil && id >= 0 {
+			res.Graph.Inits = append(res.Graph.Inits, id)
+		}
+		if id < 0 || e.stop.Load() {
+			break
+		}
+	}
+
+	if !e.stop.Load() && e.pending.Load() > 0 {
+		var wg sync.WaitGroup
+		for _, w := range ws {
+			wg.Add(1)
+			go func(w *wsWorker[S]) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	for _, w := range ws {
+		res.Transitions += w.transitions
+		res.Terminal += w.terminal
+		res.ConstraintCuts += w.cuts
+		if w.maxDepth > res.Depth {
+			res.Depth = w.maxDepth
+		}
+		if res.Graph != nil {
+			res.Graph.Edges = append(res.Graph.Edges, w.edges...)
+		}
+	}
+	res.Distinct = ret.len()
+
+	if e.violErr != nil {
+		trace, acts, terr := ret.trace(spec, cod, e.violID)
+		if terr != nil {
+			return res, terr
+		}
+		res.Violation = &Violation[S]{Invariant: e.violInv, Err: e.violErr, Trace: trace, TraceActs: acts}
+		return res, res.Violation
+	}
+	return res, e.runErr
+}

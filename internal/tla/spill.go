@@ -62,10 +62,17 @@ type spillFresh struct {
 	e  *VisitedEntry
 }
 
+// spillCompactAfter is the sealed-run fan-in the store tolerates: once
+// more runs than this accumulate, EndLevel merges them all into one
+// sorted run, so a long spilled exploration pays a bounded merge-join per
+// BFS level instead of one join per run ever sealed.
+const spillCompactAfter = 8
+
 type spillVisited struct {
 	budget   int64
 	dir      string   // temp dir holding the runs; created on first spill
 	runs     []string // paths of sealed sorted run files, oldest first
+	seq      int      // run file name sequence (survives compaction)
 	resident int      // fingerprints currently held in the shard maps
 	shards   [visitedShards]spillShard
 
@@ -181,7 +188,13 @@ func (vs *spillVisited) EndLevel() error {
 		return nil
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].fp < recs[j].fp })
-	return vs.writeRun(recs)
+	if err := vs.writeRun(recs); err != nil {
+		return err
+	}
+	if len(vs.runs) > spillCompactAfter {
+		return vs.compactRuns()
+	}
+	return nil
 }
 
 func (vs *spillVisited) writeRun(recs []spillRec) error {
@@ -192,7 +205,8 @@ func (vs *spillVisited) writeRun(recs []spillRec) error {
 		}
 		vs.dir = dir
 	}
-	path := filepath.Join(vs.dir, fmt.Sprintf("run-%06d", len(vs.runs)))
+	path := filepath.Join(vs.dir, fmt.Sprintf("run-%06d", vs.seq))
+	vs.seq++
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -214,6 +228,113 @@ func (vs *spillVisited) writeRun(recs []spillRec) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	vs.runs = append(vs.runs, path)
+	return nil
+}
+
+// runReader streams one sorted run during compaction.
+type runReader struct {
+	f   *os.File
+	r   *bufio.Reader
+	cur spillRec
+	eof bool
+}
+
+func (rr *runReader) advance() error {
+	var buf [spillRecSize]byte
+	if _, err := io.ReadFull(rr.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			rr.eof = true
+			return nil
+		}
+		return fmt.Errorf("tla: reading spill run %s during compaction: %w", rr.f.Name(), err)
+	}
+	rr.cur = spillRec{
+		fp: binary.LittleEndian.Uint64(buf[:8]),
+		id: int64(binary.LittleEndian.Uint64(buf[8:])),
+	}
+	return nil
+}
+
+// compactRuns streaming-merges every sealed run into one sorted run and
+// removes the originals, bounding the per-level merge-join fan-in. A
+// fingerprint appearing in several runs (a revived duplicate re-spilled
+// later) carries the same id everywhere, so only its first occurrence is
+// kept. Runs on the merge goroutine, between levels.
+func (vs *spillVisited) compactRuns() error {
+	readers := make([]*runReader, 0, len(vs.runs))
+	closeAll := func() {
+		for _, rr := range readers {
+			rr.f.Close()
+		}
+	}
+	for _, path := range vs.runs {
+		f, err := os.Open(path)
+		if err != nil {
+			closeAll()
+			return err
+		}
+		rr := &runReader{f: f, r: bufio.NewReaderSize(f, 1<<16)}
+		readers = append(readers, rr)
+		if err := rr.advance(); err != nil {
+			closeAll()
+			return err
+		}
+	}
+	path := filepath.Join(vs.dir, fmt.Sprintf("run-%06d", vs.seq))
+	vs.seq++
+	out, err := os.Create(path)
+	if err != nil {
+		closeAll()
+		return err
+	}
+	w := bufio.NewWriterSize(out, 1<<16)
+	var buf [spillRecSize]byte
+	// The fan-in is bounded by spillCompactAfter+1, so a linear min-scan
+	// per record beats the bookkeeping of a heap.
+	for {
+		var min *runReader
+		for _, rr := range readers {
+			if !rr.eof && (min == nil || rr.cur.fp < min.cur.fp) {
+				min = rr
+			}
+		}
+		if min == nil {
+			break
+		}
+		rec := min.cur
+		binary.LittleEndian.PutUint64(buf[:8], rec.fp)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(rec.id))
+		if _, err := w.Write(buf[:]); err != nil {
+			closeAll()
+			out.Close()
+			return err
+		}
+		// Consume this fingerprint from every run that carries it.
+		for _, rr := range readers {
+			for !rr.eof && rr.cur.fp == rec.fp {
+				if err := rr.advance(); err != nil {
+					closeAll()
+					out.Close()
+					return err
+				}
+			}
+		}
+	}
+	closeAll()
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	for _, old := range vs.runs {
+		if err := os.Remove(old); err != nil {
+			return err
+		}
+	}
+	vs.runs = vs.runs[:0]
 	vs.runs = append(vs.runs, path)
 	return nil
 }

@@ -19,6 +19,9 @@ func TestOptionsValidate(t *testing.T) {
 		{MemoryBudgetBytes: 1 << 20, CollisionFree: true},
 		{MemoryBudgetBytes: 1 << 20, Visited: newMemVisited(false)},
 		{CollisionFree: true, Visited: newMemVisited(true)},
+		{Schedule: Schedule(7)},
+		{Schedule: Schedule(-1)},
+		{StateArena: true, RecordGraph: true},
 	}
 	for _, opts := range bad {
 		if err := opts.Validate(); !errors.Is(err, ErrInvalidOptions) {
@@ -34,6 +37,10 @@ func TestOptionsValidate(t *testing.T) {
 		{Workers: 4, CollisionFree: true},
 		{MemoryBudgetBytes: 1},
 		{Visited: newMemVisited(true)},
+		{Schedule: ScheduleWorkSteal},
+		{Schedule: ScheduleWorkSteal, CollisionFree: true},
+		{StateArena: true},
+		{StateArena: true, MemoryBudgetBytes: 1},
 	}
 	for _, opts := range good {
 		if err := opts.Validate(); err != nil {
@@ -157,6 +164,68 @@ func TestSpillStoreProtocol(t *testing.T) {
 	}
 	if fresh.ID != -1 {
 		t.Fatalf("unseen fingerprint resolved to ID %d, want -1", fresh.ID)
+	}
+}
+
+// TestSpillRunCompaction pins the run-compaction contract: once more
+// than spillCompactAfter sorted runs accumulate, EndLevel merges them
+// into one, previously spilled ids still revive through the compacted
+// run, and duplicate fingerprints across runs collapse to one record.
+func TestSpillRunCompaction(t *testing.T) {
+	st := newSpillVisited(1)
+	defer st.Close()
+
+	entries := map[string]*VisitedEntry{}
+	nextID := 0
+	// Drive spillCompactAfter+1 levels, each sealing one single-claim run;
+	// the final EndLevel must compact. Re-claim key "dup" every level so
+	// the same fingerprint lands in every run with the same id.
+	for level := 0; level <= spillCompactAfter; level++ {
+		key := fmt.Sprintf("key-%d", level)
+		e := st.Claim([]byte(key))
+		dup := st.Claim([]byte("dup"))
+		if err := st.ResolveLevel(); err != nil {
+			t.Fatal(err)
+		}
+		if e.ID < 0 {
+			e.ID = nextID
+			nextID++
+			entries[key] = e
+		}
+		if dup.ID < 0 {
+			dup.ID = nextID
+			nextID++
+			entries["dup"] = dup
+		}
+		if err := st.EndLevel(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(st.runs) != 1 {
+		t.Fatalf("after %d over-budget levels the store holds %d runs, want 1 compacted", spillCompactAfter+1, len(st.runs))
+	}
+	// Every spilled fingerprint must revive with its original id through
+	// the compacted run.
+	revived := map[string]*VisitedEntry{}
+	for key := range entries {
+		revived[key] = st.Claim([]byte(key))
+	}
+	if err := st.ResolveLevel(); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range entries {
+		if got := revived[key]; got.ID != want.ID {
+			t.Fatalf("key %s revived with id %d through the compacted run, want %d", key, got.ID, want.ID)
+		}
+	}
+	// The compacted run holds each fingerprint once: its record count is
+	// the distinct-claim count, not the sum of the input runs.
+	fi, err := os.Stat(st.runs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(entries) * spillRecSize); fi.Size() != want {
+		t.Fatalf("compacted run is %d bytes, want %d (%d distinct records)", fi.Size(), want, len(entries))
 	}
 }
 

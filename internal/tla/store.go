@@ -50,13 +50,15 @@ type VisitedStore interface {
 	Close() error
 }
 
-// FrontierStore is the pending-work half of the exploration engine: the
-// discovered-but-unexpanded state ids. The engine Pushes ids from the merge
-// goroutine only, and drains one BFS level at a time with NextLevel; an
-// empty level ends the exploration. The default implementation is a
-// level-synchronized queue; the interface is the seam where a
-// work-stealing or prioritized frontier plugs in later
-// (Options.Frontier).
+// FrontierStore is the pending-work half of the level-synchronized
+// exploration engine: the discovered-but-unexpanded state ids. The engine
+// Pushes ids from the merge goroutine only, and drains one BFS level at a
+// time with NextLevel; an empty level ends the exploration. The default
+// implementation is a level-synchronized queue; the interface is the seam
+// for prioritized or instrumented frontiers (Options.Frontier). The
+// work-stealing scheduler (Options.Schedule, schedule.go) does not flow
+// through this interface — its per-worker deques have no level structure
+// to drain, which is the point.
 type FrontierStore interface {
 	Push(id int)
 	NextLevel() []int

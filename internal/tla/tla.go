@@ -94,17 +94,6 @@ type Spec[S State] struct {
 	// Transitions, Terminal, Depth and the recorded Graph all describe the
 	// quotient space — smaller than the full one by construction.
 	SymmetryVisitor func() OrbitVisitor[S]
-	// Symmetry is the materializing predecessor of SymmetryVisitor:
-	// Symmetry(s) returns the full orbit of s as n!-1 freshly allocated
-	// permuted states per successor encoded. It is kept for one release as
-	// an adapter — when SymmetryVisitor is nil, the checker wraps Symmetry
-	// into a visitor with identical semantics (and the allocation bill the
-	// visitor API exists to avoid). Like Next and Key, it is called from
-	// multiple goroutines concurrently unless Workers is 1.
-	//
-	// Deprecated: implement SymmetryVisitor instead; this field will be
-	// removed once the in-tree specs' migration has soaked for a release.
-	Symmetry func(S) []S
 }
 
 // Edge is one transition of the recorded state graph, identifying source and
@@ -154,6 +143,39 @@ type Options struct {
 	// identical to the sequential path: same counters, same graph, same
 	// shortest counterexample.
 	Workers int
+	// Schedule selects the exploration loop (-schedule on the CLIs).
+	// ScheduleLevelSync, the default, is the deterministic
+	// level-synchronized BFS described above. ScheduleWorkSteal drops the
+	// per-level barrier: per-worker steal-half deques and claim-on-insert
+	// deduplication keep every worker busy through wide-then-narrow state
+	// spaces, at the price of exploration order — verdicts, distinct-state
+	// counts and invariant results are identical (cross-checked against
+	// the level-sync oracle), but a counterexample is not necessarily
+	// shortest, Result.Depth is an upper bound on the BFS depth, and a
+	// recorded graph lists states and edges in nondeterministic order.
+	// Under work-stealing, Invariants and Constraint are called from
+	// worker goroutines and must not mutate shared state. Runs that need
+	// level semantics fall back to level-sync: MaxDepth > 0 (a depth bound
+	// needs true BFS depths to cut the same states), MemoryBudgetBytes > 0
+	// (the spilling visited store resolves lookups once per level), and
+	// caller-plugged Visited/Frontier stores.
+	Schedule Schedule
+	// StateArena retains discovered states as canonical encodings in an
+	// append-only arena — parent links and ~24 bytes of metadata per state
+	// plus the encoding bytes — instead of live S values, keeping live
+	// values only for the states still awaiting expansion. For slice-heavy
+	// states this cuts retained bytes per state severalfold; it is the
+	// knob that bounds trace-storage memory the way the fingerprint set
+	// bounds deduplication memory. With MemoryBudgetBytes set, sealed
+	// arena segments spill to disk under the same budget, so the visited
+	// set and trace storage both respect it. Counterexamples are
+	// reconstructed by replaying the recorded actions against the stored
+	// encodings (BinaryState encodings have no inverse); the arena stores
+	// each state's plain encoding, which identifies the exact state
+	// explored, so the replayed trace is byte-identical to live
+	// retention's — including under symmetry reduction. Incompatible with
+	// RecordGraph, which retains every live state by definition.
+	StateArena bool
 	// CollisionFree makes the parallel path deduplicate on full canonical
 	// keys instead of 64-bit fingerprints, trading memory and speed for
 	// immunity to fingerprint collisions (TLC's collision-probability
@@ -221,6 +243,10 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: MemoryBudgetBytes selects the spilling store and Visited plugs in another; set one", ErrInvalidOptions)
 	case o.CollisionFree && o.Visited != nil:
 		return fmt.Errorf("%w: CollisionFree selects the full-encoding store and Visited plugs in another; set one", ErrInvalidOptions)
+	case o.Schedule < ScheduleLevelSync || o.Schedule > ScheduleWorkSteal:
+		return fmt.Errorf("%w: unknown Schedule %d (ScheduleLevelSync, ScheduleWorkSteal)", ErrInvalidOptions, o.Schedule)
+	case o.StateArena && o.RecordGraph:
+		return fmt.Errorf("%w: StateArena retains encodings and RecordGraph retains live states; set one", ErrInvalidOptions)
 	}
 	return nil
 }
@@ -282,9 +308,13 @@ type stateEntry struct {
 // One engine serves every configuration: Options selects the worker count
 // (0 resolves to GOMAXPROCS; 1 is the sequential oracle, which dedups on
 // full encodings and is therefore always collision-free unless
-// MemoryBudgetBytes engages the spilling fingerprint store) and the
-// visited/frontier stores. Results are identical at every worker count and
-// under every store, modulo fingerprint collisions (see CollisionFree).
+// MemoryBudgetBytes engages the spilling fingerprint store), the
+// scheduling mode (Schedule — the default level-synchronized loop, or the
+// barrier-free work-stealing loop), and the visited/frontier stores.
+// Level-synchronized results are identical at every worker count and under
+// every store, modulo fingerprint collisions (see CollisionFree);
+// work-stealing preserves verdicts and counts but not order — see
+// Options.Schedule.
 func Check[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -293,6 +323,9 @@ func Check[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 		return nil, errNoInit
 	}
 	workers := resolveWorkers(opts.Workers)
+	if opts.effectiveSchedule() == ScheduleWorkSteal {
+		return runWorkSteal(spec, opts, workers)
+	}
 	vs := opts.Visited
 	if vs == nil {
 		vs = newVisitedStore(opts, workers)

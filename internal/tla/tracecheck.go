@@ -119,7 +119,7 @@ type frontierChunk[S State] struct {
 // into the deduplicated next frontier.
 //
 // Frontier deduplication takes the BinaryState fast path when the spec
-// state implements it, but never applies Spec.Symmetry: observations name
+// state implements it, but never applies Spec.SymmetryVisitor: observations name
 // concrete identifiers (this node, that actor), so symmetric-but-distinct
 // frontier states match different future observations and must stay
 // distinct.
