@@ -11,9 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/fuzzer"
 	"repro/internal/mbtc"
@@ -50,15 +54,20 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers, *symmetry, *memBudget, *schedule); err != nil {
+	// First signal stops the checker cooperatively (partial result printed);
+	// a second one kills the process through the default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers, *symmetry, *memBudget, *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int, symmetry bool, memBudget int64, schedule string) error {
-	if topts := (tla.TraceOptions{Workers: workers}); topts.Validate() != nil {
-		return topts.Validate()
+func run(ctx context.Context, scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int, symmetry bool, memBudget int64, schedule string) error {
+	topts := tla.TraceOptions{Workers: workers, Context: ctx}
+	if err := topts.Validate(); err != nil {
+		return err
 	}
 	if sched, err := tla.ParseSchedule(schedule); err != nil {
 		return err
@@ -137,8 +146,13 @@ func run(scenarioName, specVariant string, fuzz bool, steps int, seed int64, syn
 		return fmt.Errorf("unknown spec variant %q", specVariant)
 	}
 
-	rep, _, err := mbtc.PipelineWith(cfg, workload, spec, workers)
+	rep, _, err := mbtc.PipelineOpts(cfg, workload, spec, topts)
 	if err != nil {
+		if rep != nil && rep.Interrupted && errors.Is(err, tla.ErrInterrupted) {
+			fmt.Printf("%s against RaftMongo %s: interrupted after matching %d of %d trace events (no divergence so far)\n",
+				label, specVariant, rep.Checked, rep.Events)
+			return nil
+		}
 		return err
 	}
 	fmt.Printf("%s against RaftMongo %s: %d trace events, %d oplog prefix fills, max frontier %d\n",

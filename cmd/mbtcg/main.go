@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/arrayot"
 	"repro/internal/coverage"
@@ -43,18 +46,23 @@ func main() {
 		// automorphism — quotienting on it would drop generated cases.
 		fmt.Fprintln(os.Stderr, "mbtcg: note: array_ot has no symmetric identities (clients act in ID order); -symmetry has no effect")
 	}
-	if err := run(*dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule); err != nil {
+	// First signal stops the model checker cooperatively; generation needs
+	// the complete state graph, so an interrupted exploration aborts the
+	// pipeline with the partial-state count. A second signal kills normally.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtcg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string) error {
+func run(ctx context.Context, dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string) error {
 	sched, err := tla.ParseSchedule(schedule)
 	if err != nil {
 		return err
 	}
-	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget, Schedule: sched}
+	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget, Schedule: sched, Context: ctx}
 	if err := opts.Validate(); err != nil {
 		return err
 	}

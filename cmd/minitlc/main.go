@@ -3,18 +3,31 @@
 // invariant violation with its counterexample, and can dump the reachable
 // state graph as GraphViz DOT.
 //
+// Long runs are interruptible and resumable: ^C (or SIGTERM) stops the
+// checker cooperatively and prints the partial statistics; with
+// -checkpoint DIR the interrupted run also seals its state to DIR, and
+// -resume DIR continues it later with a verdict and counts identical to an
+// uninterrupted run. -checkpoint-every N additionally seals a checkpoint
+// every N BFS levels, so even a killed process loses at most N levels.
+//
 // Usage:
 //
 //	minitlc -spec raftmongo-v1|raftmongo-v2|arrayot|locking \
 //	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
 //	        [-dot out.dot] [-liveness] [-workers N] [-symmetry] [-mem-budget BYTES] \
-//	        [-schedule levelsync|worksteal] [-arena]
+//	        [-schedule levelsync|worksteal] [-arena] \
+//	        [-checkpoint DIR] [-checkpoint-every N] [-resume DIR]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/arrayot"
@@ -22,6 +35,51 @@ import (
 	"repro/internal/raftmongo"
 	"repro/internal/tla"
 )
+
+// specConfig is every flag that shapes the explored state space; a resumed
+// run must use the checkpointing run's values, so they round-trip through
+// the checkpoint's metadata blob.
+type specConfig struct {
+	specName string
+	nodes    int
+	maxTerm  int
+	maxLog   int
+	actors   int
+	symmetry bool
+}
+
+func (c specConfig) meta() map[string]string {
+	return map[string]string{
+		"spec":     c.specName,
+		"nodes":    strconv.Itoa(c.nodes),
+		"max-term": strconv.Itoa(c.maxTerm),
+		"max-log":  strconv.Itoa(c.maxLog),
+		"actors":   strconv.Itoa(c.actors),
+		"symmetry": strconv.FormatBool(c.symmetry),
+	}
+}
+
+func configFromMeta(meta map[string]string) (specConfig, error) {
+	var c specConfig
+	var ok bool
+	if c.specName, ok = meta["spec"]; !ok {
+		return c, errors.New("checkpoint metadata is missing the spec name (not written by minitlc?)")
+	}
+	var err error
+	atoi := func(key string) int {
+		if err != nil {
+			return 0
+		}
+		v, aerr := strconv.Atoi(meta[key])
+		if aerr != nil {
+			err = fmt.Errorf("checkpoint metadata %s=%q: %v", key, meta[key], aerr)
+		}
+		return v
+	}
+	c.nodes, c.maxTerm, c.maxLog, c.actors = atoi("nodes"), atoi("max-term"), atoi("max-log"), atoi("actors")
+	c.symmetry = meta["symmetry"] == "true"
+	return c, err
+}
 
 func main() {
 	var (
@@ -37,18 +95,52 @@ func main() {
 		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
 		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync (deterministic BFS, shortest counterexamples) or worksteal (barrier-free, identical verdicts and counts)")
 		arena     = flag.Bool("arena", false, "retain discovered states as encoded bytes in an append-only arena instead of live values (cuts retention memory; counterexamples are replayed; incompatible with -dot/-liveness)")
+		ckDir     = flag.String("checkpoint", "", "write a resumable checkpoint to this directory on interrupt (and periodically with -checkpoint-every); implies -arena")
+		ckEvery   = flag.Int("checkpoint-every", 0, "additionally checkpoint every N BFS levels (0 = only on interrupt; needs -checkpoint)")
+		resume    = flag.String("resume", "", "resume the run checkpointed in this directory (spec flags are restored from the checkpoint); implies -arena and, unless -checkpoint says otherwise, further checkpoints go to the same directory")
 	)
 	flag.Parse()
-	if err := run(*specName, *nodes, *maxTerm, *maxLog, *actors, *dotPath, *liveness, *workers, *symmetry, *memBudget, *schedule, *arena); err != nil {
+
+	// ^C / SIGTERM stop the checker cooperatively: the run winds down at
+	// the next stop point, prints its partial statistics, and — when
+	// checkpointing — seals a resumable checkpoint. A second signal kills
+	// the process the usual way (stop() restores default handling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := specConfig{specName: *specName, nodes: *nodes, maxTerm: *maxTerm, maxLog: *maxLog, actors: *actors, symmetry: *symmetry}
+	if err := run(ctx, cfg, *dotPath, *liveness, *workers, *memBudget, *schedule, *arena, *ckDir, *ckEvery, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "minitlc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, liveness bool, workers int, symmetry bool, memBudget int64, schedule string, arena bool) error {
+func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, workers int, memBudget int64, schedule string, arena bool, ckDir string, ckEvery int, resume string) error {
 	sched, err := tla.ParseSchedule(schedule)
 	if err != nil {
 		return err
+	}
+	if resume != "" {
+		// The checkpoint knows which state space it explored; the resumed
+		// run must rebuild the identical spec, so its metadata overrides
+		// the spec flags.
+		info, err := tla.ReadCheckpointInfo(resume)
+		if err != nil {
+			return err
+		}
+		cfg, err = configFromMeta(info.Meta)
+		if err != nil {
+			return err
+		}
+		if ckDir == "" {
+			ckDir = resume // keep checkpointing where the run left off
+		}
+		fmt.Printf("resuming %s from %s: %d distinct states, %d transitions, depth %d, %d levels\n",
+			info.Spec, resume, info.Distinct, info.Transitions, info.Depth, info.Levels)
+	}
+	if (ckDir != "" || resume != "") && !arena {
+		arena = true
+		fmt.Fprintln(os.Stderr, "minitlc: note: checkpoint/resume stores states in the encoding arena; -arena enabled")
 	}
 	opts := tla.Options{
 		RecordGraph:       dotPath != "" || liveness,
@@ -56,6 +148,11 @@ func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, li
 		MemoryBudgetBytes: memBudget,
 		Schedule:          sched,
 		StateArena:        arena,
+		Context:           ctx,
+		CheckpointDir:     ckDir,
+		CheckpointEvery:   ckEvery,
+		ResumeFrom:        resume,
+		CheckpointMeta:    cfg.meta(),
 	}
 	if err := opts.Validate(); err != nil {
 		return err
@@ -63,23 +160,29 @@ func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, li
 	if sched == tla.ScheduleWorkSteal && memBudget > 0 {
 		fmt.Fprintln(os.Stderr, "minitlc: note: the spilling visited store is level-synchronized; -mem-budget falls the run back to -schedule levelsync (-arena still spills retained states)")
 	}
+	if sched == tla.ScheduleWorkSteal && (ckDir != "" || resume != "") {
+		fmt.Fprintln(os.Stderr, "minitlc: note: checkpoints are sealed at BFS level boundaries; -checkpoint/-resume falls the run back to -schedule levelsync")
+	}
 	if sched == tla.ScheduleWorkSteal && opts.RecordGraph {
 		fmt.Fprintln(os.Stderr, "minitlc: note: worksteal numbers graph states nondeterministically; liveness verdicts are unaffected, but diff DOT output across runs only under levelsync")
 	}
-	switch specName {
+	switch cfg.specName {
 	case "raftmongo-v1", "raftmongo-v2":
-		cfg := raftmongo.Config{Nodes: nodes, MaxTerm: maxTerm, MaxLogLen: maxLog, Symmetric: symmetry}
-		spec := raftmongo.SpecV1(cfg)
-		if specName == "raftmongo-v2" {
-			spec = raftmongo.SpecV2(cfg)
+		rcfg := raftmongo.Config{Nodes: cfg.nodes, MaxTerm: cfg.maxTerm, MaxLogLen: cfg.maxLog, Symmetric: cfg.symmetry}
+		spec := raftmongo.SpecV1(rcfg)
+		if cfg.specName == "raftmongo-v2" {
+			spec = raftmongo.SpecV2(rcfg)
 		}
 		res, err := check(spec, opts)
 		if err != nil {
 			return err
 		}
+		if res.Interrupted {
+			return nil
+		}
 		if liveness {
 			w := tla.CheckEventuallyWithin(res.Graph, raftmongo.CommitPointsEqual, func(s raftmongo.State) bool {
-				return cfg.Nodes == s.NumNodes() && withinBounds(cfg, s)
+				return rcfg.Nodes == s.NumNodes() && withinBounds(rcfg, s)
 			})
 			if w == -1 {
 				fmt.Println("liveness: commit point is eventually propagated — OK")
@@ -89,11 +192,11 @@ func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, li
 		}
 		return dump(res.Graph, dotPath, spec.Name)
 	case "arrayot":
-		if symmetry {
+		if cfg.symmetry {
 			fmt.Fprintln(os.Stderr, "minitlc: note: array_ot has no symmetric identities (clients act in ID order); -symmetry has no effect")
 		}
 		res, err := check(arrayot.Spec(arrayot.DefaultConfig()), opts)
-		if err != nil {
+		if err != nil || res.Interrupted {
 			return err
 		}
 		if res.Graph != nil {
@@ -101,13 +204,13 @@ func run(specName string, nodes, maxTerm, maxLog, actors int, dotPath string, li
 		}
 		return dump(res.Graph, dotPath, "array_ot")
 	case "locking":
-		res, err := check(locking.Spec(locking.SpecConfig{Actors: actors, Symmetric: symmetry}), opts)
-		if err != nil {
+		res, err := check(locking.Spec(locking.SpecConfig{Actors: cfg.actors, Symmetric: cfg.symmetry}), opts)
+		if err != nil || res.Interrupted {
 			return err
 		}
 		return dump(res.Graph, dotPath, "Locking")
 	}
-	return fmt.Errorf("unknown spec %q", specName)
+	return fmt.Errorf("unknown spec %q", cfg.specName)
 }
 
 func withinBounds(cfg raftmongo.Config, s raftmongo.State) bool {
@@ -123,8 +226,12 @@ func check[S tla.State](spec *tla.Spec[S], opts tla.Options) (*tla.Result[S], er
 	start := time.Now()
 	res, err := tla.Check(spec, opts)
 	elapsed := time.Since(start)
+	if res != nil && res.DegradedMemory {
+		fmt.Fprintln(os.Stderr, "minitlc: warning: a persistent I/O failure disabled disk spilling; results are exact but -mem-budget was not honoured (DegradedMemory)")
+	}
 	if err != nil {
-		if res != nil && res.Violation != nil {
+		switch {
+		case res != nil && res.Violation != nil:
 			v := res.Violation
 			fmt.Printf("%s: invariant %s VIOLATED: %v\n", spec.Name, v.Invariant, v.Err)
 			fmt.Printf("counterexample (%d steps):\n", len(v.Trace)-1)
@@ -136,8 +243,22 @@ func check[S tla.State](spec *tla.Spec[S], opts tla.Options) (*tla.Result[S], er
 				fmt.Printf("  %2d %-45s %s\n", i, act, s.Key())
 			}
 			return res, nil
+		case res != nil && res.Interrupted && errors.Is(err, tla.ErrInterrupted):
+			// A clean interrupt is a successful partial run — unless a
+			// requested checkpoint could not be written, which the joined
+			// error reports and the missing CheckpointPath confirms.
+			if opts.CheckpointDir != "" && res.CheckpointPath == "" {
+				return nil, err
+			}
+			fmt.Printf("%s: interrupted after %d distinct states, %d transitions, depth %d (%.2fs)\n",
+				spec.Name, res.Distinct, res.Transitions, res.Depth, elapsed.Seconds())
+			if res.CheckpointPath != "" {
+				fmt.Printf("checkpoint written to %s — continue with: minitlc -resume %s\n", res.CheckpointPath, res.CheckpointPath)
+			}
+			return res, nil
+		default:
+			return nil, err
 		}
-		return nil, err
 	}
 	fmt.Printf("%s: %d distinct states, %d transitions, depth %d, %d terminal (%.2fs)\n",
 		spec.Name, res.Distinct, res.Transitions, res.Depth, res.Terminal, elapsed.Seconds())

@@ -15,11 +15,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/fuzzer"
 	"repro/internal/mbtc"
@@ -45,14 +49,18 @@ func main() {
 		schedule  = flag.String("schedule", "levelsync", "exploration schedule (accepted for CLI uniformity; trace checking advances one observation at a time)")
 	)
 	flag.Parse()
-	if err := run(*steps, *seed, *nodes, *outDir, *flawed, *syncFirst, *check, *specVar, *workers, *symmetry, *memBudget, *schedule); err != nil {
+	// First signal stops the trace checker cooperatively (the fuzzer run
+	// itself is short); a second one kills the process normally.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *steps, *seed, *nodes, *outDir, *flawed, *syncFirst, *check, *specVar, *workers, *symmetry, *memBudget, *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "rollback-fuzzer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(steps int, seed int64, nodes int, outDir string, flawed, syncFirst, check bool, specVar string, workers int, symmetry bool, memBudget int64, schedule string) error {
-	topts := tla.TraceOptions{Workers: workers}
+func run(ctx context.Context, steps int, seed int64, nodes int, outDir string, flawed, syncFirst, check bool, specVar string, workers int, symmetry bool, memBudget int64, schedule string) error {
+	topts := tla.TraceOptions{Workers: workers, Context: ctx}
 	if err := topts.Validate(); err != nil {
 		return err
 	}
@@ -165,6 +173,11 @@ func checkTrace(nodes int, bufs []*bytes.Buffer, specVar string, topts tla.Trace
 	}
 	crep, err := mbtc.CheckEventsOpts(nodes, merged, spec, topts)
 	if err != nil {
+		if crep != nil && crep.Interrupted && errors.Is(err, tla.ErrInterrupted) {
+			fmt.Printf("trace check against RaftMongo %s: interrupted after matching %d of %d events (no divergence so far)\n",
+				specVar, crep.Checked, crep.Events)
+			return nil
+		}
 		return err
 	}
 	fmt.Printf("trace check against RaftMongo %s: %d events, %d oplog prefix fills, max frontier %d\n",

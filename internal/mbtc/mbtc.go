@@ -111,6 +111,12 @@ type Report struct {
 	FailedEvent   string // the event that diverged, when !OK
 	MaxFrontier   int
 	StatesVisited []int // frontier sizes per step
+	// Interrupted reports that the checker stopped early because
+	// TraceOptions.Context was canceled (or its deadline passed): Checked
+	// observations were matched before the stop and the trace did not
+	// diverge — it was not finished. The companion error wraps
+	// tla.ErrInterrupted.
+	Interrupted bool
 }
 
 // CheckEvents runs the post-processor and the trace checker over merged
@@ -147,6 +153,7 @@ func CheckEventsOpts(nodes int, events []trace.Event, spec *tla.Spec[raftmongo.S
 		OK:            res.OK,
 		FailedStep:    res.FailedStep,
 		StatesVisited: res.FrontierSizes,
+		Interrupted:   res.Interrupted,
 	}
 	for _, n := range res.FrontierSizes {
 		if n > rep.MaxFrontier {
@@ -214,11 +221,19 @@ func Pipeline(cfg replset.Config, workload func(*replset.Cluster) error, spec *t
 // PipelineWith is Pipeline with an explicit checker worker count
 // (0 = GOMAXPROCS, 1 = sequential).
 func PipelineWith(cfg replset.Config, workload func(*replset.Cluster) error, spec *tla.Spec[raftmongo.State], workers int) (*Report, []trace.Event, error) {
+	return PipelineOpts(cfg, workload, spec, tla.TraceOptions{Workers: workers})
+}
+
+// PipelineOpts is Pipeline with full trace-checker options — the hook the
+// CLIs thread cancellation (TraceOptions.Context wired to SIGINT/SIGTERM)
+// and deadlines through. The workload itself is not cancelable — replica-set
+// runs are short — only the checking half is.
+func PipelineOpts(cfg replset.Config, workload func(*replset.Cluster) error, spec *tla.Spec[raftmongo.State], topts tla.TraceOptions) (*Report, []trace.Event, error) {
 	merged, err := RunTraced(cfg, workload)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep, err := CheckEventsWith(cfg.Nodes, merged, spec, workers)
+	rep, err := CheckEventsOpts(cfg.Nodes, merged, spec, topts)
 	return rep, merged, err
 }
 

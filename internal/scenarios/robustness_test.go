@@ -1,0 +1,57 @@
+package scenarios
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/mbtc"
+	"repro/internal/raftmongo"
+	"repro/internal/replset"
+	"repro/internal/tla"
+)
+
+// TestPipelineInterruption runs the full MBTC pipeline — cluster run, trace
+// capture, merge, trace check — with a context that is canceled before the
+// checking half starts: the report must say Interrupted (matched
+// observations so far, no divergence claim) under an error wrapping
+// tla.ErrInterrupted, which is exactly what the mbtc CLI turns into its
+// "interrupted after matching N of M trace events" exit path.
+func TestPipelineInterruption(t *testing.T) {
+	compatible := TracingCompatible()
+	if len(compatible) == 0 {
+		t.Fatal("no tracing-compatible scenarios")
+	}
+	sc := compatible[0]
+	cfg := replset.Config{Nodes: sc.Nodes, Arbiters: sc.Arbiters, Seed: 1}
+	spec := raftmongo.SpecV2(mbtc.CheckConfig(sc.Nodes))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the workload still runs; the trace checker stops at its first poll
+	rep, events, err := mbtc.PipelineOpts(cfg, sc.Run, spec, tla.TraceOptions{Workers: 2, Context: ctx})
+	if !errors.Is(err, tla.ErrInterrupted) {
+		t.Fatalf("err = %v, want errors.Is(tla.ErrInterrupted)", err)
+	}
+	if rep == nil || !rep.Interrupted {
+		t.Fatalf("report = %+v, want Interrupted", rep)
+	}
+	if rep.FailedStep != -1 {
+		t.Fatalf("FailedStep = %d, want -1: an interrupted trace did not diverge", rep.FailedStep)
+	}
+	if rep.Checked >= rep.Events {
+		t.Fatalf("Checked = %d of %d events — the interruption landed after the full check", rep.Checked, rep.Events)
+	}
+	if len(events) == 0 {
+		t.Fatal("pipeline returned no captured events")
+	}
+
+	// The same pipeline uninterrupted must still pass: the interruption path
+	// above did not consume or corrupt anything.
+	rep2, _, err := mbtc.PipelineOpts(cfg, sc.Run, spec, tla.TraceOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("uninterrupted pipeline: %v", err)
+	}
+	if !rep2.OK || rep2.Interrupted {
+		t.Fatalf("uninterrupted report = %+v, want OK", rep2)
+	}
+}

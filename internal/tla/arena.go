@@ -3,7 +3,6 @@ package tla
 import (
 	"bytes"
 	"fmt"
-	"os"
 )
 
 // This file implements the retained-state arena: the answer to the memory
@@ -68,15 +67,17 @@ type arenaSeg struct {
 // lock.
 type stateArena struct {
 	budget   int64 // 0 = never spill
+	fsys     FS
 	meta     []arenaMeta
 	segs     []arenaSeg
 	resident int64 // encoding bytes currently held in memory
-	file     *os.File
+	file     File
 	fileSize int64
+	degraded bool // a persistent spill-write failure switched to live retention of segments
 }
 
-func newStateArena(budget int64) *stateArena {
-	return &stateArena{budget: budget}
+func newStateArena(budget int64, fsys FS) *stateArena {
+	return &stateArena{budget: budget, fsys: resolveFS(fsys)}
 }
 
 func (a *stateArena) len() int { return len(a.meta) }
@@ -120,22 +121,44 @@ func segCap(need int) int {
 // flush spills every resident segment — including the current one, which
 // is sealed by the act of spilling — to the arena's temp file and drops
 // the buffers. Encodings are append-only and never rewritten, so a
-// segment's bytes are written exactly once.
+// segment's bytes are written exactly once; a failed write retries at the
+// same file offset, so a torn attempt is simply overwritten.
+//
+// Spilling is memory relief, not correctness: on a persistent write
+// failure (ENOSPC at the seal) the arena degrades to retaining segments in
+// memory — over budget, reported via Result.DegradedMemory — instead of
+// failing the run. Spilled reads stay valid: fileSize only advances past
+// fully written segments.
 func (a *stateArena) flush() error {
+	if a.degraded {
+		return nil
+	}
 	if a.file == nil {
-		f, err := os.CreateTemp("", "tla-arena-")
+		err := retryIO(func() error {
+			f, err := a.fsys.CreateTemp("", "tla-arena-")
+			if err != nil {
+				return err
+			}
+			a.file = f
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("tla: creating arena spill file: %w", err)
+			a.degraded = true
+			return nil
 		}
-		a.file = f
 	}
 	for i := range a.segs {
 		seg := &a.segs[i]
 		if seg.spilled {
 			continue
 		}
-		if _, err := a.file.WriteAt(seg.buf[:seg.size], a.fileSize); err != nil {
-			return fmt.Errorf("tla: spilling arena segment: %w", err)
+		err := retryIO(func() error {
+			_, werr := a.file.WriteAt(seg.buf[:seg.size], a.fileSize)
+			return werr
+		})
+		if err != nil {
+			a.degraded = true
+			return nil
 		}
 		seg.fileOff = a.fileSize
 		a.fileSize += int64(seg.size)
@@ -145,6 +168,10 @@ func (a *stateArena) flush() error {
 	}
 	return nil
 }
+
+// degradedMemory reports whether a persistent spill failure forced the
+// arena to retain segments in memory (Result.DegradedMemory).
+func (a *stateArena) degradedMemory() bool { return a.degraded }
 
 // encoding appends state id's canonical encoding to buf and returns the
 // extended slice — always a copy, never an alias of a resident segment,
@@ -163,7 +190,39 @@ func (a *stateArena) encoding(id int, buf []byte) ([]byte, error) {
 		buf = grown
 	}
 	buf = buf[:lo+int(m.n)]
-	if _, err := a.file.ReadAt(buf[lo:], seg.fileOff+int64(m.off)); err != nil {
+	// A spilled encoding is required reading — traces and checkpoints are
+	// built from it — so transient errors retry and persistent ones fail
+	// explicitly rather than risk a wrong answer.
+	err := retryIO(func() error {
+		_, rerr := a.file.ReadAt(buf[lo:], seg.fileOff+int64(m.off))
+		return rerr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tla: reading spilled arena segment: %w", err)
+	}
+	return buf, nil
+}
+
+// segBytes appends the full byte run of segment i to buf — from memory for
+// resident segments, from the spill file otherwise. Checkpointing uses it
+// to stream the arena's encodings out in segment order.
+func (a *stateArena) segBytes(i int, buf []byte) ([]byte, error) {
+	seg := &a.segs[i]
+	if !seg.spilled {
+		return append(buf, seg.buf[:seg.size]...), nil
+	}
+	lo := len(buf)
+	if cap(buf) < lo+seg.size {
+		grown := make([]byte, lo, lo+seg.size)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:lo+seg.size]
+	err := retryIO(func() error {
+		_, rerr := a.file.ReadAt(buf[lo:], seg.fileOff)
+		return rerr
+	})
+	if err != nil {
 		return nil, fmt.Errorf("tla: reading spilled arena segment: %w", err)
 	}
 	return buf, nil
@@ -178,7 +237,7 @@ func (a *stateArena) close() error {
 	a.file = nil
 	name := f.Name()
 	f.Close()
-	return os.Remove(name)
+	return a.fsys.Remove(name)
 }
 
 // retainer owns discovered-state retention for one checking run, behind
@@ -205,7 +264,7 @@ func newRetainer[S State](spec *Spec[S], opts Options) *retainer[S] {
 		return &retainer[S]{}
 	}
 	r := &retainer[S]{
-		arena:  newStateArena(opts.MemoryBudgetBytes),
+		arena:  newStateArena(opts.MemoryBudgetBytes, opts.FS),
 		acts:   []string{""},
 		actIdx: map[string]uint16{"": 0},
 		live:   map[int]S{},
@@ -346,6 +405,12 @@ func (r *retainer[S]) trace(spec *Spec[S], cod *codec[S], id int) ([]S, []string
 		trace = append(trace, cur)
 	}
 	return trace, acts, nil
+}
+
+// degradedMemory reports whether the arena had to fall back to in-memory
+// retention after a persistent spill failure.
+func (r *retainer[S]) degradedMemory() bool {
+	return r.arena != nil && r.arena.degraded
 }
 
 // close releases the arena's spill file, if any.

@@ -1,6 +1,8 @@
 package tla
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -128,8 +130,8 @@ func (p chunkPlan) run(fn func(worker, chunk, lo, hi int)) {
 // runEngine is the unified level-synchronized exploration loop behind
 // Check: one implementation for every worker count and store combination.
 // (ScheduleWorkSteal runs the barrier-free loop in schedule.go instead.)
-func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStore, fr FrontierStore) (*Result[S], error) {
-	res := &Result[S]{Spec: spec.Name}
+func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStore, fr FrontierStore) (res *Result[S], err error) {
+	res = &Result[S]{Spec: spec.Name}
 	if opts.RecordGraph {
 		res.Graph = &Graph[S]{}
 	}
@@ -144,7 +146,64 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		wcods[w] = cod.clone()
 	}
 	ret := newRetainer(spec, opts)
+
+	// ctl is the run's shared stop flag and first-panic slot; mg guards the
+	// merge goroutine's own spec-callback calls (expansion workers carry
+	// chunk-local guards — see expandFrontier). The stopper arms the same
+	// stop flag when Options.Context or Options.Deadline fires.
+	var ctl runControl
+	var mg specGuard
+	st := opts.newStopper(func() { ctl.stop.Store(true) })
+
+	// Deferred teardown, innermost first: (1) finalize the result's
+	// counters and degradation flags on every exit path; (2) convert a
+	// merge-goroutine spec panic into the structured verdict (expansion
+	// panics are parked in ctl and handled inline); (3) release the
+	// retainer's spill file — after (2), whose trace replay may still read
+	// it; (4) release the stopper's watcher.
+	defer st.close()
 	defer ret.close()
+	defer func() {
+		if r := recover(); r != nil {
+			pi := mg.capture(r) // re-panics on engine bugs (guard unarmed)
+			res.Violation = nil
+			err = specPanicError(spec, cod, ret, pi)
+		}
+	}()
+	defer func() {
+		res.Distinct = ret.len()
+		if d, ok := vs.(interface{ degradedMemory() bool }); ok && d.degradedMemory() {
+			res.DegradedMemory = true
+		}
+		if ret.degradedMemory() {
+			res.DegradedMemory = true
+		}
+	}()
+
+	var ck *checkpointer
+	if opts.CheckpointDir != "" {
+		ck = newCheckpointer(opts)
+	}
+
+	// interrupted finishes an interrupted run: the partial counters stay in
+	// res, a checkpoint is written when configured, and the returned error
+	// wraps ErrInterrupted. Expansion is side-effect-free until the merge
+	// replays it — ids, counters and retention only change on the merge
+	// goroutine — so the unexpanded frontier is a clean resume point even
+	// when the stop landed mid-expansion.
+	interrupted := func(frontier []int, level int) (*Result[S], error) {
+		res.Interrupted = true
+		ierr := st.err()
+		if ck != nil {
+			path, cerr := writeCheckpoint(ck, spec, opts, ret, vs, res, frontier, level)
+			if cerr != nil {
+				return res, errors.Join(ierr, fmt.Errorf("tla: writing checkpoint: %w", cerr))
+			}
+			res.CheckpointPath = path
+		}
+		return res, ierr
+	}
+
 	var arenaEnc []byte // addState's plain-encoding scratch (arena mode)
 
 	// addState installs a newly discovered state (entry.ID must be -1):
@@ -162,7 +221,9 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 			// The arena stores the plain encoding (one AppendBinary here
 			// on the merge goroutine — not canonical, whose orbit scan the
 			// workers already paid for deduplication).
+			mg.enter(opEncode, act, id)
 			arenaEnc = cod.encode(s, arenaEnc[:0])
+			mg.exit()
 			enc = arenaEnc
 		}
 		if err := ret.add(s, enc, parent, act, depth); err != nil {
@@ -176,15 +237,20 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 			res.Graph.Keys = append(res.Graph.Keys, s.Key())
 		}
 		for _, inv := range spec.Invariants {
-			if err := inv.Check(s); err != nil {
-				trace, acts, terr := ret.trace(spec, cod, id)
+			mg.enter(opInvariant, inv.Name, id)
+			ierr := inv.Check(s)
+			mg.exit()
+			if ierr != nil {
+				trace, acts, terr := safeTrace(spec, cod, ret, id)
 				if terr != nil {
 					return nil, terr
 				}
-				return &Violation[S]{Invariant: inv.Name, Err: err, Trace: trace, TraceActs: acts}, nil
+				return &Violation[S]{Invariant: inv.Name, Err: ierr, Trace: trace, TraceActs: acts}, nil
 			}
 		}
+		mg.enter(opConstraint, "", id)
 		withinConstraint := spec.Constraint == nil || spec.Constraint(s)
+		mg.exit()
 		if !withinConstraint {
 			res.ConstraintCuts++
 		}
@@ -195,31 +261,51 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		return nil, nil
 	}
 
-	for _, s := range spec.Init() {
-		e := vs.Claim(cod.canonical(s))
-		if e.ID < 0 {
-			viol, err := addState(s, e, -1, "", 0)
-			if err != nil {
-				res.Distinct = ret.len()
-				return res, err
-			}
-			if viol != nil {
-				if res.Graph != nil {
-					res.Graph.Inits = append(res.Graph.Inits, e.ID)
+	level := 0
+	if opts.ResumeFrom != "" {
+		// A resumed run restores the checkpoint instead of registering
+		// initial states: counters, arena, visited runs, and the frontier's
+		// live values (reconstructed by parent-chain replay, which runs
+		// spec callbacks — the guard attributes a panic there to the
+		// replay).
+		mg.enter(opNext, "(resume replay)", -1)
+		lvl, rerr := resumeRun(spec, opts, cod, ret, vs, fr, res, ck)
+		mg.exit()
+		if rerr != nil {
+			return res, rerr
+		}
+		level = lvl
+	} else {
+		mg.enter(opInit, "", -1)
+		inits := spec.Init()
+		mg.exit()
+		for _, s := range inits {
+			mg.enter(opEncode, "", -1)
+			cenc := cod.canonical(s)
+			mg.exit()
+			e := vs.Claim(cenc)
+			if e.ID < 0 {
+				viol, aerr := addState(s, e, -1, "", 0)
+				if aerr != nil {
+					return res, aerr
 				}
-				res.Violation = viol
-				res.Distinct = ret.len()
-				return res, viol
+				if viol != nil {
+					if res.Graph != nil {
+						res.Graph.Inits = append(res.Graph.Inits, e.ID)
+					}
+					res.Violation = viol
+					return res, viol
+				}
+			}
+			if res.Graph != nil {
+				res.Graph.Inits = append(res.Graph.Inits, e.ID)
 			}
 		}
-		if res.Graph != nil {
-			res.Graph.Inits = append(res.Graph.Inits, e.ID)
+		if err := vs.EndLevel(); err != nil {
+			return res, err
 		}
 	}
-	if err := vs.EndLevel(); err != nil {
-		res.Distinct = ret.len()
-		return res, err
-	}
+	startLevel := level
 
 	// Chunk output buffers recycle across levels (see freeChunks): a
 	// steady exploration stops allocating candidate storage once the
@@ -227,12 +313,31 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	var pool chunkPool[S]
 	for {
 		frontier := fr.NextLevel()
+		if st.stopped() {
+			return interrupted(frontier, level)
+		}
 		if len(frontier) == 0 {
 			break
 		}
-		outs := expandFrontier(spec, wcods, ret, frontier, vs, &pool)
+		if ck != nil && opts.CheckpointEvery > 0 && level > startLevel && (level-startLevel)%opts.CheckpointEvery == 0 {
+			// A periodic checkpoint failing is an explicit failure, not a
+			// silent skip: the user asked for durability.
+			path, cerr := writeCheckpoint(ck, spec, opts, ret, vs, res, frontier, level)
+			if cerr != nil {
+				return res, fmt.Errorf("tla: writing checkpoint: %w", cerr)
+			}
+			res.CheckpointPath = path
+		}
+		outs := expandFrontier(spec, wcods, ret, frontier, vs, &pool, &ctl)
+		if pi := ctl.takePanic(); pi != nil {
+			return res, specPanicError(spec, cod, ret, pi)
+		}
+		if st.stopped() {
+			// Mid-expansion stop: the level's candidates are discarded —
+			// no counter moved — and the same frontier checkpoints cleanly.
+			return interrupted(frontier, level)
+		}
 		if err := vs.ResolveLevel(); err != nil {
-			res.Distinct = ret.len()
 			return res, err
 		}
 
@@ -256,11 +361,10 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 					var viol *Violation[S]
 					sid := c.entry.ID
 					if sid < 0 {
-						var err error
-						viol, err = addState(c.succ, c.entry, id, c.act, depth+1)
-						if err != nil {
-							res.Distinct = ret.len()
-							return res, err
+						var aerr error
+						viol, aerr = addState(c.succ, c.entry, id, c.act, depth+1)
+						if aerr != nil {
+							return res, aerr
 						}
 						sid = c.entry.ID
 					}
@@ -269,7 +373,6 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 					}
 					if viol != nil {
 						res.Violation = viol
-						res.Distinct = ret.len()
 						return res, viol
 					}
 				}
@@ -280,11 +383,10 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		// their live values (live retention keeps everything by design).
 		ret.releaseAll(frontier)
 		if err := vs.EndLevel(); err != nil {
-			res.Distinct = ret.len()
 			return res, err
 		}
+		level++
 	}
-	res.Distinct = ret.len()
 	return res, nil
 }
 
@@ -340,19 +442,42 @@ func (p *chunkPool[S]) free(outs []chunkOut[S]) {
 // promise. Successors whose entry is still unassigned keep the state:
 // they are either genuinely new or, under the spilling store, duplicates
 // that ResolveLevel will settle before the merge looks.
-func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S], frontier []int, vs VisitedStore, pool *chunkPool[S]) []chunkOut[S] {
+//
+// Every chunk runs under a chunk-local specGuard and a deferred recover: a
+// panic raised by Next or by the state encoding (spec code, both) is
+// captured into ctl — which also stops the other workers at their next
+// between-states poll — instead of taking the process down. The guard is
+// armed and disarmed with plain field writes, so the isolation costs the
+// hot path no allocations. The same between-states poll is the expansion
+// phase's cancellation point.
+func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S], frontier []int, vs VisitedStore, pool *chunkPool[S], ctl *runControl) []chunkOut[S] {
 	plan := planChunks(len(frontier), len(wcods))
 	outs := make([]chunkOut[S], plan.nChunks)
 	pool.seed(outs)
 	plan.run(func(w, c, lo, hi int) {
+		var g specGuard
+		defer func() {
+			if r := recover(); r != nil {
+				ctl.recordPanic(g.capture(r))
+			}
+		}()
 		wcod := wcods[w]
 		out := outs[c] // recycled buffers (or nil), length 0
 		for _, id := range frontier[lo:hi] {
+			if ctl.stop.Load() {
+				break
+			}
 			s := ret.stateOf(id)
 			before := len(out.cands)
 			for _, a := range spec.Actions {
-				for _, succ := range a.Next(s) {
-					e := vs.Claim(wcod.canonical(succ))
+				g.enter(opNext, a.Name, id)
+				succs := a.Next(s)
+				g.exit()
+				for _, succ := range succs {
+					g.enter(opEncode, a.Name, id)
+					cenc := wcod.canonical(succ)
+					g.exit()
+					e := vs.Claim(cenc)
 					if e.ID >= 0 {
 						out.cands = append(out.cands, candidate[S]{act: a.Name, entry: e})
 					} else {

@@ -1,0 +1,198 @@
+package tla
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// explodingSpec is counterSpec plus one extra action whose Next panics when
+// it sees the given state. The panic site is mid-exploration — several
+// levels deep — so a recovered panic has a real trace to decode.
+func explodingSpec(max int, at counterState) *Spec[counterState] {
+	spec := counterSpec(max)
+	spec.Actions = append(spec.Actions, Action[counterState]{
+		Name: "Explode",
+		Next: func(s counterState) []counterState {
+			if s == at {
+				panic(fmt.Sprintf("boom at %v", at))
+			}
+			return nil
+		},
+	})
+	return spec
+}
+
+// assertSpecPanic asserts that err is a recovered spec panic whose Op
+// mentions opWant, and returns the structured SpecPanic.
+func assertSpecPanic(t *testing.T, label string, err error, opWant string) *SpecPanic[counterState] {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: run succeeded, want a recovered spec panic", label)
+	}
+	if !errors.Is(err, ErrSpecPanic) {
+		t.Fatalf("%s: err = %v, want errors.Is(ErrSpecPanic)", label, err)
+	}
+	var sp *SpecPanic[counterState]
+	if !errors.As(err, &sp) {
+		t.Fatalf("%s: err type = %T, want *SpecPanic", label, err)
+	}
+	if !strings.Contains(sp.Op, opWant) {
+		t.Fatalf("%s: panic attributed to %q, want op containing %q", label, sp.Op, opWant)
+	}
+	if sp.Stack == "" {
+		t.Fatalf("%s: recovered panic carries no stack", label)
+	}
+	if msg := sp.Error(); !strings.Contains(msg, "panicked") || !strings.Contains(msg, sp.Op) {
+		t.Fatalf("%s: unhelpful panic message %q", label, msg)
+	}
+	return sp
+}
+
+// TestSpecPanicInNext pins the tentpole contract on both schedulers, at
+// several worker counts, with and without the arena: a panicking Next
+// yields a structured ErrSpecPanic carrying a non-empty decoded trace to
+// the state being expanded — not a crashed process — and the partial
+// Result survives with no Violation.
+func TestSpecPanicInNext(t *testing.T) {
+	at := counterState{A: 3, B: 1} // depth 4: a real trace to decode
+	for _, sched := range []Schedule{ScheduleLevelSync, ScheduleWorkSteal} {
+		for _, workers := range []int{1, 4} {
+			for _, arena := range []bool{false, true} {
+				label := fmt.Sprintf("sched=%v/workers=%d/arena=%v", sched, workers, arena)
+				res, err := Check(explodingSpec(8, at), Options{Schedule: sched, Workers: workers, StateArena: arena})
+				sp := assertSpecPanic(t, label, err, `action "Explode"`)
+				if len(sp.Trace) == 0 {
+					t.Fatalf("%s: recovered panic has an empty trace", label)
+				}
+				if got := sp.Trace[len(sp.Trace)-1]; got != at {
+					t.Fatalf("%s: trace ends at %v, want the expanding state %v", label, got, at)
+				}
+				if len(sp.TraceActs) != len(sp.Trace)-1 {
+					t.Fatalf("%s: %d actions for %d trace states", label, len(sp.TraceActs), len(sp.Trace))
+				}
+				if res == nil {
+					t.Fatalf("%s: no partial result alongside the panic verdict", label)
+				}
+				if res.Violation != nil {
+					t.Fatalf("%s: panic run reports a violation: %v", label, res.Violation)
+				}
+				if res.Distinct == 0 {
+					t.Fatalf("%s: partial result counted no states", label)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecPanicInInvariant covers the merge-goroutine (level-sync) and
+// worker-goroutine (work-steal) invariant paths: the trace must end at the
+// exact state whose invariant check panicked.
+func TestSpecPanicInInvariant(t *testing.T) {
+	at := counterState{A: 2, B: 1}
+	mk := func() *Spec[counterState] {
+		spec := counterSpec(6)
+		spec.Invariants = append(spec.Invariants, Invariant[counterState]{
+			Name: "Fragile",
+			Check: func(s counterState) error {
+				if s == at {
+					var m map[string]int
+					m["nil map write"] = 1 // a realistic spec bug
+				}
+				return nil
+			},
+		})
+		return spec
+	}
+	for _, sched := range []Schedule{ScheduleLevelSync, ScheduleWorkSteal} {
+		for _, workers := range []int{1, 4} {
+			label := fmt.Sprintf("sched=%v/workers=%d", sched, workers)
+			_, err := Check(mk(), Options{Schedule: sched, Workers: workers})
+			sp := assertSpecPanic(t, label, err, `invariant "Fragile"`)
+			if len(sp.Trace) == 0 {
+				t.Fatalf("%s: empty trace", label)
+			}
+			if got := sp.Trace[len(sp.Trace)-1]; got != at {
+				t.Fatalf("%s: trace ends at %v, want %v", label, got, at)
+			}
+		}
+	}
+}
+
+// TestSpecPanicInInitAndConstraint: a panic before any state exists (Init)
+// is attributed with an empty trace; a panicking constraint is attributed
+// to the constraint.
+func TestSpecPanicInInitAndConstraint(t *testing.T) {
+	for _, sched := range []Schedule{ScheduleLevelSync, ScheduleWorkSteal} {
+		init := counterSpec(4)
+		init.Init = func() []counterState { panic("no initial states today") }
+		sp := assertSpecPanic(t, fmt.Sprintf("init/sched=%v", sched),
+			func() error { _, err := Check(init, Options{Schedule: sched}); return err }(), "Init")
+		if len(sp.Trace) != 0 {
+			t.Fatalf("init panic decoded a trace of %d states from nothing", len(sp.Trace))
+		}
+
+		cons := counterSpec(4)
+		cons.Constraint = func(s counterState) bool {
+			if s == (counterState{A: 2, B: 0}) {
+				panic("constraint bug")
+			}
+			return true
+		}
+		_, err := Check(cons, Options{Schedule: sched, Workers: 4})
+		assertSpecPanic(t, fmt.Sprintf("constraint/sched=%v", sched), err, "Constraint")
+	}
+}
+
+// keyPanicState panics while encoding one specific state — the opEncode
+// guard class (Key/AppendBinary/SymmetryVisitor run inside the codec, on
+// the expansion hot path).
+type keyPanicState struct{ N int }
+
+func (s keyPanicState) Key() string {
+	if s.N == 5 {
+		panic("Key() bug at N=5")
+	}
+	return fmt.Sprintf("%d", s.N)
+}
+
+func TestSpecPanicInEncoding(t *testing.T) {
+	spec := &Spec[keyPanicState]{
+		Name: "KeyPanic",
+		Init: func() []keyPanicState { return []keyPanicState{{0}} },
+		Actions: []Action[keyPanicState]{
+			{Name: "Inc", Next: func(s keyPanicState) []keyPanicState {
+				if s.N >= 9 {
+					return nil
+				}
+				return []keyPanicState{{s.N + 1}}
+			}},
+		},
+	}
+	for _, sched := range []Schedule{ScheduleLevelSync, ScheduleWorkSteal} {
+		_, err := Check(spec, Options{Schedule: sched, Workers: 2})
+		if !errors.Is(err, ErrSpecPanic) {
+			t.Fatalf("sched=%v: err = %v, want ErrSpecPanic", sched, err)
+		}
+		var sp *SpecPanic[keyPanicState]
+		if !errors.As(err, &sp) {
+			t.Fatalf("sched=%v: err type = %T", sched, err)
+		}
+		if !strings.Contains(sp.Op, "encoding") {
+			t.Fatalf("sched=%v: op = %q, want the encoding class", sched, sp.Op)
+		}
+	}
+}
+
+// TestSpecPanicUnderSpillStore: the panic must unwind cleanly through the
+// disk-spilling visited store too (workers panic while holding no store
+// state; the store's Close still runs and removes its directory).
+func TestSpecPanicUnderSpillStore(t *testing.T) {
+	_, err := Check(explodingSpec(10, counterState{A: 4, B: 2}),
+		Options{Workers: 4, MemoryBudgetBytes: 1, StateArena: true})
+	sp := assertSpecPanic(t, "spill", err, `action "Explode"`)
+	if len(sp.Trace) == 0 {
+		t.Fatal("empty trace under the spilling store")
+	}
+}

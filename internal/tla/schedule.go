@@ -80,14 +80,16 @@ func ParseSchedule(name string) (Schedule, error) {
 // effectiveSchedule resolves the schedule Check actually runs. Work-steal
 // falls back to level-sync when the options demand level semantics:
 // MaxDepth needs true BFS depths to cut the same states, the spilling
-// visited store (MemoryBudgetBytes) resolves lookups once per level, and
-// caller-plugged stores implement the level protocol. The fallback is
-// documented on Options.Schedule; results are correct either way.
+// visited store (MemoryBudgetBytes) resolves lookups once per level,
+// caller-plugged stores implement the level protocol, and checkpoints are
+// sealed at level boundaries, which a barrier-free run does not have. The
+// fallback is documented on Options.Schedule; results are correct either
+// way.
 func (o Options) effectiveSchedule() Schedule {
 	if o.Schedule != ScheduleWorkSteal {
 		return ScheduleLevelSync
 	}
-	if o.MaxDepth > 0 || o.MemoryBudgetBytes > 0 || o.Visited != nil || o.Frontier != nil {
+	if o.MaxDepth > 0 || o.MemoryBudgetBytes > 0 || o.Visited != nil || o.Frontier != nil || o.checkpointing() {
 		return ScheduleLevelSync
 	}
 	return ScheduleWorkSteal
@@ -195,9 +197,12 @@ func (vs *wsVisited) claim(enc []byte, alloc func() int) (id int, isNew bool) {
 	fp := fingerprint(enc)
 	sh := &vs.shards[fp&(visitedShards-1)]
 	sh.mu.Lock()
+	// Unlock by defer, not explicitly: alloc runs spec encoding code under
+	// this lock (arena mode), and a recovered spec panic must release the
+	// shard on unwind or the drain would deadlock on it.
+	defer sh.mu.Unlock()
 	if vs.collisionFree {
 		if id, ok := sh.byKey[string(enc)]; ok {
-			sh.mu.Unlock()
 			return id, false
 		}
 		id = alloc()
@@ -206,7 +211,6 @@ func (vs *wsVisited) claim(enc []byte, alloc func() int) (id int, isNew bool) {
 		}
 	} else {
 		if id, ok := sh.byFP[fp]; ok {
-			sh.mu.Unlock()
 			return id, false
 		}
 		id = alloc()
@@ -214,7 +218,6 @@ func (vs *wsVisited) claim(enc []byte, alloc func() int) (id int, isNew bool) {
 			sh.byFP[fp] = id
 		}
 	}
-	sh.mu.Unlock()
 	return id, id >= 0
 }
 
@@ -235,7 +238,8 @@ type wsEngine[S State] struct {
 	violID  int
 	violInv string
 	violErr error
-	runErr  error // ErrStateLimit or an arena I/O error; first wins
+	runErr  error      // ErrStateLimit or an arena I/O error; first wins
+	pi      *panicInfo // first recovered spec panic; converted after the join
 
 	stop    atomic.Bool
 	pending atomic.Int64 // queued-but-unexpanded items, for termination
@@ -251,6 +255,17 @@ func (e *wsEngine[S]) failLocked(err error) {
 	e.stop.Store(true)
 }
 
+// recordPanic parks the first recovered spec panic and stops the workers;
+// the remaining workers see e.stop at their next loop check and drain.
+func (e *wsEngine[S]) recordPanic(pi *panicInfo) {
+	e.mu.Lock()
+	if e.pi == nil {
+		e.pi = pi
+	}
+	e.mu.Unlock()
+	e.stop.Store(true)
+}
+
 // wsWorker is one worker's private context. Its counters merge into the
 // Result after the join; alloc carries the pending registration's fields
 // so vs.claim's callback is a method value bound once, not a closure
@@ -262,6 +277,7 @@ type wsWorker[S State] struct {
 	deque   *wsDeque
 	stealBf []wsItem
 	allocFn func() int
+	pg      specGuard // which spec callback this worker is inside
 
 	// pending registration, set before each claim
 	regS      S
@@ -295,7 +311,9 @@ func (w *wsWorker[S]) alloc() int {
 		// the claim deduped on; codec.encode only touches the passed
 		// buffer, so regEnc (aliasing the codec's canonical scratch) stays
 		// valid for the caller's map insert.
+		w.pg.enter(opEncode, w.regAct, -1)
 		w.arenaBuf = w.cod.encode(w.regS, w.arenaBuf[:0])
+		w.pg.exit()
 		enc = w.arenaBuf
 	}
 	if err := e.ret.add(w.regS, enc, w.regParent, w.regAct, w.regDepth); err != nil {
@@ -317,7 +335,9 @@ func (w *wsWorker[S]) alloc() int {
 // state's id, or -1 when the run is stopping.
 func (w *wsWorker[S]) register(s S, parent int, act string, depth int) int {
 	e := w.e
+	w.pg.enter(opEncode, act, parent)
 	w.regS, w.regEnc = s, w.cod.canonical(s)
+	w.pg.exit()
 	w.regParent, w.regAct, w.regDepth = parent, act, depth
 	id, isNew := e.vs.claim(w.regEnc, w.allocFn)
 	if id < 0 {
@@ -330,17 +350,23 @@ func (w *wsWorker[S]) register(s S, parent int, act string, depth int) int {
 		w.maxDepth = depth
 	}
 	for _, inv := range e.spec.Invariants {
-		if err := inv.Check(s); err != nil {
+		w.pg.enter(opInvariant, inv.Name, id)
+		ierr := inv.Check(s)
+		w.pg.exit()
+		if ierr != nil {
 			e.mu.Lock()
 			if e.violErr == nil && e.runErr == nil {
-				e.violID, e.violInv, e.violErr = id, inv.Name, err
+				e.violID, e.violInv, e.violErr = id, inv.Name, ierr
 			}
 			e.stop.Store(true)
 			e.mu.Unlock()
 			return id
 		}
 	}
-	if e.spec.Constraint != nil && !e.spec.Constraint(s) {
+	w.pg.enter(opConstraint, "", id)
+	cut := e.spec.Constraint != nil && !e.spec.Constraint(s)
+	w.pg.exit()
+	if cut {
 		w.cuts++
 		e.mu.Lock()
 		e.ret.release(id)
@@ -360,7 +386,10 @@ func (w *wsWorker[S]) expand(it wsItem) {
 	e.mu.Unlock()
 	succs := 0
 	for _, a := range e.spec.Actions {
-		for _, succ := range a.Next(s) {
+		w.pg.enter(opNext, a.Name, it.id)
+		nexts := a.Next(s)
+		w.pg.exit()
+		for _, succ := range nexts {
 			succs++
 			w.transitions++
 			sid := w.register(succ, it.id, a.Name, it.depth+1)
@@ -457,18 +486,36 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (*Result[S]
 		ws[i].allocFn = ws[i].alloc
 	}
 
+	// Cancellation: the stopper arms the same stop flag every worker polls
+	// per iteration, so a canceled context or a passed deadline drains the
+	// run and returns the partial counters under Result.Interrupted.
+	st := opts.newStopper(func() { e.stop.Store(true) })
+	defer st.close()
+
 	// Register initial states on this goroutine through worker 0's context
 	// (the workers have not started; no concurrency yet). Init items land
 	// on worker 0's deque — steal-half spreads them within microseconds.
-	for _, s := range spec.Init() {
-		id := ws[0].register(s, -1, "", 0)
-		if res.Graph != nil && id >= 0 {
-			res.Graph.Inits = append(res.Graph.Inits, id)
+	// The registration runs spec callbacks (Init, encoding, invariants),
+	// so it is recovered exactly as a worker is.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.recordPanic(ws[0].pg.capture(r))
+			}
+		}()
+		ws[0].pg.enter(opInit, "", -1)
+		inits := spec.Init()
+		ws[0].pg.exit()
+		for _, s := range inits {
+			id := ws[0].register(s, -1, "", 0)
+			if res.Graph != nil && id >= 0 {
+				res.Graph.Inits = append(res.Graph.Inits, id)
+			}
+			if id < 0 || e.stop.Load() {
+				break
+			}
 		}
-		if id < 0 || e.stop.Load() {
-			break
-		}
-	}
+	}()
 
 	if !e.stop.Load() && e.pending.Load() > 0 {
 		var wg sync.WaitGroup
@@ -476,6 +523,14 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (*Result[S]
 			wg.Add(1)
 			go func(w *wsWorker[S]) {
 				defer wg.Done()
+				// A spec panic stops the run and is reported after the
+				// join; every other panic is an engine bug and re-panics
+				// (the guard is unarmed outside spec callbacks).
+				defer func() {
+					if r := recover(); r != nil {
+						e.recordPanic(w.pg.capture(r))
+					}
+				}()
 				w.run()
 			}(w)
 		}
@@ -494,14 +549,30 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (*Result[S]
 		}
 	}
 	res.Distinct = ret.len()
+	if ret.degradedMemory() {
+		res.DegradedMemory = true
+	}
 
+	// Verdict precedence after the drain: a found violation is a complete
+	// verdict and wins; then a recovered spec panic; then ErrStateLimit or
+	// an I/O failure; then the interruption, with the partial counters.
 	if e.violErr != nil {
-		trace, acts, terr := ret.trace(spec, cod, e.violID)
+		trace, acts, terr := safeTrace(spec, cod, ret, e.violID)
 		if terr != nil {
 			return res, terr
 		}
 		res.Violation = &Violation[S]{Invariant: e.violInv, Err: e.violErr, Trace: trace, TraceActs: acts}
 		return res, res.Violation
 	}
-	return res, e.runErr
+	if e.pi != nil {
+		return res, specPanicError(spec, cod, ret, e.pi)
+	}
+	if e.runErr != nil {
+		return res, e.runErr
+	}
+	if st.stopped() {
+		res.Interrupted = true
+		return res, st.err()
+	}
+	return res, nil
 }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -28,6 +27,14 @@ import (
 // pointing at the correct dense id. One sequential pass over the runs per
 // BFS level, zero random disk reads — the classic external-memory
 // trade the paper credits TLC's engineering with.
+//
+// All I/O flows through the run's FS seam (fs.go) with the engine's fault
+// contract: transient errors are retried with capped backoff; a persistent
+// failure to *write* a run (ENOSPC at the seal) degrades the store — the
+// resident set is held in memory, over budget, under Result.DegradedMemory
+// — because spilling is memory relief, not correctness; a persistent
+// failure to *read* a sealed run fails the run explicitly, because the
+// dedup information in it is load-bearing for the verdict.
 //
 // The store dedups fingerprints only (8 bytes of identity, 16 on disk with
 // the id); collision-free full-encoding dedup is memory-resident by
@@ -70,10 +77,12 @@ const spillCompactAfter = 8
 
 type spillVisited struct {
 	budget   int64
+	fsys     FS
 	dir      string   // temp dir holding the runs; created on first spill
 	runs     []string // paths of sealed sorted run files, oldest first
 	seq      int      // run file name sequence (survives compaction)
 	resident int      // fingerprints currently held in the shard maps
+	degraded bool     // a persistent spill-write failure switched the store to hold-resident
 	shards   [visitedShards]spillShard
 
 	// scratch for ResolveLevel/EndLevel, reused across levels.
@@ -81,13 +90,17 @@ type spillVisited struct {
 	recBuf   []spillRec
 }
 
-func newSpillVisited(budget int64) *spillVisited {
-	vs := &spillVisited{budget: budget}
+func newSpillVisited(budget int64, fsys FS) *spillVisited {
+	vs := &spillVisited{budget: budget, fsys: resolveFS(fsys)}
 	for i := range vs.shards {
 		vs.shards[i].byFP = make(map[uint64]*VisitedEntry)
 	}
 	return vs
 }
+
+// degradedMemory reports whether a persistent spill failure forced the
+// store to hold its resident set over budget (Result.DegradedMemory).
+func (vs *spillVisited) degradedMemory() bool { return vs.degraded }
 
 // Claim implements VisitedStore. A fingerprint absent from the resident
 // maps gets a provisional ID -1 entry even if it was spilled earlier;
@@ -108,7 +121,11 @@ func (vs *spillVisited) Claim(enc []byte) *VisitedEntry {
 
 // ResolveLevel merge-joins this level's fresh claims against every sealed
 // run, restoring the dense id of fingerprints that were spilled. Runs on
-// the merge goroutine; no locks needed (all workers have joined).
+// the merge goroutine; no locks needed (all workers have joined). A
+// transient read error retries the whole run's join — the join is
+// idempotent (an entry's ID is only ever restored once, and to the same
+// value) — and a persistent one fails the run: the sealed dedup records
+// are load-bearing, and skipping them could silently prune the space.
 func (vs *spillVisited) ResolveLevel() error {
 	fresh := vs.freshBuf[:0]
 	for i := range vs.shards {
@@ -123,7 +140,7 @@ func (vs *spillVisited) ResolveLevel() error {
 	}
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i].fp < fresh[j].fp })
 	for _, run := range vs.runs {
-		if err := mergeJoinRun(run, fresh); err != nil {
+		if err := retryIO(func() error { return mergeJoinRun(vs.fsys, run, fresh) }); err != nil {
 			return err
 		}
 	}
@@ -133,8 +150,8 @@ func (vs *spillVisited) ResolveLevel() error {
 // mergeJoinRun streams the sorted run once, advancing through the sorted
 // fresh claims in lockstep and restoring the id of every match that is
 // still unassigned.
-func mergeJoinRun(path string, fresh []spillFresh) error {
-	f, err := os.Open(path)
+func mergeJoinRun(fsys FS, path string, fresh []spillFresh) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}
@@ -160,81 +177,153 @@ func mergeJoinRun(path string, fresh []spillFresh) error {
 	return nil
 }
 
+// readRecsFile streams every 16-byte record of one sealed run through fn.
+func readRecsFile(fsys FS, path string, fn func(spillRec) error) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var buf [spillRecSize]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("tla: reading spill run %s: %w", path, err)
+		}
+		rec := spillRec{
+			fp: binary.LittleEndian.Uint64(buf[:8]),
+			id: int64(binary.LittleEndian.Uint64(buf[8:])),
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// clearResident drops the shard maps after their contents were sealed.
+func (vs *spillVisited) clearResident() {
+	for i := range vs.shards {
+		vs.shards[i].byFP = make(map[uint64]*VisitedEntry)
+	}
+	vs.resident = 0
+}
+
 // EndLevel enforces the memory budget after the merge assigned ids: when
 // the resident set charges past the budget, every resident (fingerprint,
 // id) pair is sorted into a new sealed run and the maps are dropped.
 // Revived duplicates may be written to more than one run; they carry the
 // same id everywhere, so merge-join correctness is unaffected.
+//
+// A persistent failure to seal the run (ENOSPC is the canonical case)
+// degrades the store instead of failing the checking run: the resident
+// maps are kept — deduplication stays exact, memory use exceeds the
+// budget — the degradation is reported via Result.DegradedMemory, and a
+// best-effort compaction trims the sealed-run fan-in it can no longer
+// grow past.
 func (vs *spillVisited) EndLevel() error {
 	for i := range vs.shards {
 		vs.shards[i].fresh = vs.shards[i].fresh[:0]
 	}
-	if int64(vs.resident)*spillBytesPerEntry <= vs.budget {
+	if vs.degraded || int64(vs.resident)*spillBytesPerEntry <= vs.budget {
 		return nil
 	}
 	recs := vs.recBuf[:0]
 	for i := range vs.shards {
-		sh := &vs.shards[i]
-		for fp, e := range sh.byFP {
+		for fp, e := range vs.shards[i].byFP {
 			if e.ID >= 0 { // defensive: never persist an unassigned claim
 				recs = append(recs, spillRec{fp: fp, id: int64(e.ID)})
 			}
 		}
-		sh.byFP = make(map[uint64]*VisitedEntry)
 	}
 	vs.recBuf = recs[:0]
-	vs.resident = 0
 	if len(recs) == 0 {
+		vs.clearResident()
 		return nil
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].fp < recs[j].fp })
 	if err := vs.writeRun(recs); err != nil {
-		return err
+		vs.degraded = true
+		if len(vs.runs) > 1 {
+			vs.compactRuns() // best-effort; failure keeps the old runs sealed
+		}
+		return nil
 	}
+	vs.clearResident()
 	if len(vs.runs) > spillCompactAfter {
-		return vs.compactRuns()
+		// Compaction is an optimization: on failure the original runs stay
+		// sealed and consulted — more merge-join fan-in, same answers.
+		vs.compactRuns()
 	}
 	return nil
 }
 
-func (vs *spillVisited) writeRun(recs []spillRec) error {
-	if vs.dir == "" {
-		dir, err := os.MkdirTemp("", "tla-spill-")
+// ensureDir creates the store's temp directory on first use.
+func (vs *spillVisited) ensureDir() error {
+	if vs.dir != "" {
+		return nil
+	}
+	return retryIO(func() error {
+		dir, err := vs.fsys.MkdirTemp("", "tla-spill-")
 		if err != nil {
 			return fmt.Errorf("tla: creating spill dir: %w", err)
 		}
 		vs.dir = dir
+		return nil
+	})
+}
+
+func (vs *spillVisited) writeRun(recs []spillRec) error {
+	if err := vs.ensureDir(); err != nil {
+		return err
 	}
 	path := filepath.Join(vs.dir, fmt.Sprintf("run-%06d", vs.seq))
 	vs.seq++
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	var buf [spillRecSize]byte
-	for _, rec := range recs {
-		binary.LittleEndian.PutUint64(buf[:8], rec.fp)
-		binary.LittleEndian.PutUint64(buf[8:], uint64(rec.id))
-		if _, err := w.Write(buf[:]); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	// The whole file is rewritten per attempt: a torn write from a failed
+	// attempt is overwritten, never appended to.
+	if err := retryIO(func() error { return writeRecsFile(vs.fsys, path, recs) }); err != nil {
 		return err
 	}
 	vs.runs = append(vs.runs, path)
 	return nil
 }
 
+// writeRecsFile writes one sorted run file; the partial file is removed on
+// any failure so a retry (or the degraded path) never sees torn records.
+func writeRecsFile(fsys FS, path string, recs []spillRec) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var buf [spillRecSize]byte
+	fail := func(err error) error {
+		f.Close()
+		fsys.Remove(path)
+		return err
+	}
+	for _, rec := range recs {
+		binary.LittleEndian.PutUint64(buf[:8], rec.fp)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(rec.id))
+		if _, err := w.Write(buf[:]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(path)
+		return err
+	}
+	return nil
+}
+
 // runReader streams one sorted run during compaction.
 type runReader struct {
-	f   *os.File
+	f   File
 	r   *bufio.Reader
 	cur spillRec
 	eof bool
@@ -260,7 +349,9 @@ func (rr *runReader) advance() error {
 // removes the originals, bounding the per-level merge-join fan-in. A
 // fingerprint appearing in several runs (a revived duplicate re-spilled
 // later) carries the same id everywhere, so only its first occurrence is
-// kept. Runs on the merge goroutine, between levels.
+// kept. Runs on the merge goroutine, between levels. On failure the
+// partial output is removed and the original runs are left sealed and
+// registered — callers treat compaction as optional.
 func (vs *spillVisited) compactRuns() error {
 	readers := make([]*runReader, 0, len(vs.runs))
 	closeAll := func() {
@@ -269,7 +360,7 @@ func (vs *spillVisited) compactRuns() error {
 		}
 	}
 	for _, path := range vs.runs {
-		f, err := os.Open(path)
+		f, err := vs.fsys.Open(path)
 		if err != nil {
 			closeAll()
 			return err
@@ -283,9 +374,15 @@ func (vs *spillVisited) compactRuns() error {
 	}
 	path := filepath.Join(vs.dir, fmt.Sprintf("run-%06d", vs.seq))
 	vs.seq++
-	out, err := os.Create(path)
+	out, err := vs.fsys.Create(path)
 	if err != nil {
 		closeAll()
+		return err
+	}
+	fail := func(err error) error {
+		closeAll()
+		out.Close()
+		vs.fsys.Remove(path)
 		return err
 	}
 	w := bufio.NewWriterSize(out, 1<<16)
@@ -306,17 +403,13 @@ func (vs *spillVisited) compactRuns() error {
 		binary.LittleEndian.PutUint64(buf[:8], rec.fp)
 		binary.LittleEndian.PutUint64(buf[8:], uint64(rec.id))
 		if _, err := w.Write(buf[:]); err != nil {
-			closeAll()
-			out.Close()
-			return err
+			return fail(err)
 		}
 		// Consume this fingerprint from every run that carries it.
 		for _, rr := range readers {
 			for !rr.eof && rr.cur.fp == rec.fp {
 				if err := rr.advance(); err != nil {
-					closeAll()
-					out.Close()
-					return err
+					return fail(err)
 				}
 			}
 		}
@@ -324,18 +417,75 @@ func (vs *spillVisited) compactRuns() error {
 	closeAll()
 	if err := w.Flush(); err != nil {
 		out.Close()
+		vs.fsys.Remove(path)
 		return err
 	}
 	if err := out.Close(); err != nil {
+		vs.fsys.Remove(path)
 		return err
 	}
 	for _, old := range vs.runs {
-		if err := os.Remove(old); err != nil {
+		if err := vs.fsys.Remove(old); err != nil {
 			return err
 		}
 	}
 	vs.runs = vs.runs[:0]
 	vs.runs = append(vs.runs, path)
+	return nil
+}
+
+// snapshotRuns seals the store's state into dir for a checkpoint: the
+// resident (fingerprint, id) pairs become one fresh sorted run, and every
+// sealed run is copied verbatim. Returns the file names (relative to dir).
+// The store itself is not modified — a checkpoint must not perturb the run
+// it snapshots.
+func (vs *spillVisited) snapshotRuns(fsys FS, dir, prefix string) ([]string, error) {
+	var names []string
+	recs := []spillRec{}
+	for i := range vs.shards {
+		for fp, e := range vs.shards[i].byFP {
+			if e.ID >= 0 {
+				recs = append(recs, spillRec{fp: fp, id: int64(e.ID)})
+			}
+		}
+	}
+	if len(recs) > 0 {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].fp < recs[j].fp })
+		name := prefix + "visited-resident"
+		if err := retryIO(func() error { return writeRecsFile(fsys, filepath.Join(dir, name), recs) }); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	for i, run := range vs.runs {
+		name := fmt.Sprintf("%svisited-%06d", prefix, i)
+		if err := retryIO(func() error { return copyFileFS(fsys, run, filepath.Join(dir, name)) }); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// adoptRuns restores a checkpoint's visited runs: each file is copied into
+// the store's own temp dir (the checkpoint stays immutable) and registered
+// as a sealed run, so the first resumed level's merge-join restores every
+// persisted id.
+func (vs *spillVisited) adoptRuns(fsys FS, srcDir string, names []string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	if err := vs.ensureDir(); err != nil {
+		return err
+	}
+	for _, name := range names {
+		dst := filepath.Join(vs.dir, fmt.Sprintf("run-%06d", vs.seq))
+		vs.seq++
+		if err := retryIO(func() error { return copyFileFS(fsys, filepath.Join(srcDir, name), dst) }); err != nil {
+			return err
+		}
+		vs.runs = append(vs.runs, dst)
+	}
 	return nil
 }
 
@@ -346,5 +496,5 @@ func (vs *spillVisited) Close() error {
 	}
 	dir := vs.dir
 	vs.dir, vs.runs = "", nil
-	return os.RemoveAll(dir)
+	return vs.fsys.RemoveAll(dir)
 }

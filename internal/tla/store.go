@@ -1,6 +1,11 @@
 package tla
 
-import "sync"
+import (
+	"errors"
+	"path/filepath"
+	"sort"
+	"sync"
+)
 
 // This file defines the two small interfaces the exploration engine is
 // parameterized by — the VisitedStore (deduplication) and the FrontierStore
@@ -150,14 +155,80 @@ func (vs *memVisited) ResolveLevel() error { return nil }
 func (vs *memVisited) EndLevel() error     { return nil }
 func (vs *memVisited) Close() error        { return nil }
 
+// snapshotRuns persists the fingerprint map as one sorted run file in dir,
+// in the same 16-byte (fingerprint, id) record format the spilling store
+// seals, so a checkpoint's visited set is store-agnostic on disk. Only
+// entries with assigned ids are persisted; an ID -1 claim belongs to a
+// level whose merge never ran, and the resume re-discovers it.
+func (vs *memVisited) snapshotRuns(fsys FS, dir, prefix string) ([]string, error) {
+	if vs.collisionFree {
+		return nil, errors.New("tla: collision-free visited store cannot be checkpointed")
+	}
+	recs := []spillRec{}
+	for i := range vs.shards {
+		for fp, e := range vs.shards[i].byFP {
+			if e.ID >= 0 {
+				recs = append(recs, spillRec{fp: fp, id: int64(e.ID)})
+			}
+		}
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].fp < recs[j].fp })
+	name := prefix + "visited-resident"
+	if err := retryIO(func() error { return writeRecsFile(fsys, filepath.Join(dir, name), recs) }); err != nil {
+		return nil, err
+	}
+	return []string{name}, nil
+}
+
+// adoptRuns loads a checkpoint's visited runs straight into the shard maps
+// — the in-memory store has no merge-on-lookup phase to defer to, so every
+// persisted (fingerprint, id) pair becomes a resident entry with its id
+// already assigned.
+func (vs *memVisited) adoptRuns(fsys FS, srcDir string, names []string) error {
+	if vs.collisionFree {
+		return errors.New("tla: collision-free visited store cannot adopt a checkpoint")
+	}
+	for _, name := range names {
+		err := retryIO(func() error {
+			return readRecsFile(fsys, filepath.Join(srcDir, name), func(rec spillRec) error {
+				sh := &vs.shards[rec.fp&(visitedShards-1)]
+				if sh.byFP[rec.fp] == nil {
+					sh.byFP[rec.fp] = &VisitedEntry{ID: int(rec.id)}
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointVisited is the optional interface a visited store implements
+// to participate in checkpoint/resume: snapshotRuns seals the store's
+// dedup state into sorted run files under dir (names returned relative to
+// dir, store unmodified), and adoptRuns restores a previous snapshot into
+// a fresh store. Both built-in fingerprint stores implement it; a plugged
+// Options.Visited need not (Options.Validate rejects that combination).
+type checkpointVisited interface {
+	snapshotRuns(fsys FS, dir, prefix string) ([]string, error)
+	adoptRuns(fsys FS, srcDir string, names []string) error
+}
+
 // newVisitedStore selects the visited store for a validated Options:
 // the spilling fingerprint store when a memory budget is set, the
 // collision-free map when exactness is demanded (explicitly, or implicitly
 // by the sequential oracle path), and the sharded fingerprint map
-// otherwise.
+// otherwise. A checkpointing run forces fingerprint mode even for the
+// sequential oracle — checkpoints persist (fingerprint, id) records, which
+// a full-encoding map cannot be rebuilt from.
 func newVisitedStore(opts Options, workers int) VisitedStore {
 	if opts.MemoryBudgetBytes > 0 {
-		return newSpillVisited(opts.MemoryBudgetBytes)
+		return newSpillVisited(opts.MemoryBudgetBytes, opts.FS)
 	}
-	return newMemVisited(opts.CollisionFree || workers == 1)
+	return newMemVisited(opts.CollisionFree || (workers == 1 && !opts.checkpointing()))
 }

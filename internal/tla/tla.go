@@ -16,10 +16,12 @@
 package tla
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // State is implemented by specification states. Key returns a canonical
@@ -216,6 +218,61 @@ type Options struct {
 	// Frontier, when non-nil, plugs in a caller-supplied FrontierStore in
 	// place of the default level-synchronized queue.
 	Frontier FrontierStore
+	// Context, when non-nil, cancels the run cooperatively: both
+	// schedulers poll it at their stop points (the level-synchronized
+	// loop between levels and between frontier states, the work-stealing
+	// loop on every worker iteration) and an interrupted run returns the
+	// partial Result (Interrupted set, states/depth/counters so far)
+	// under an error wrapping ErrInterrupted — plus a checkpoint when
+	// CheckpointDir is set. The CLIs wire SIGINT/SIGTERM here.
+	Context context.Context
+	// Deadline, when non-zero, bounds the run in wall-clock time: past
+	// it, the run winds down exactly as a canceled Context does. A
+	// deadline already in the past is rejected by Validate. Composes with
+	// Context (whichever fires first stops the run).
+	Deadline time.Time
+	// FS routes the engine's durable I/O — spill runs, arena segments,
+	// checkpoints — through an injectable filesystem seam. nil selects
+	// the real filesystem (OSFS); tests plug in a FaultFS to exercise the
+	// retry and degradation paths (see fs.go for the fault taxonomy:
+	// transient errors are retried with capped backoff, persistent
+	// failures of optional spill writes degrade to resident retention
+	// under Result.DegradedMemory, persistent failures of required reads
+	// fail the run explicitly).
+	FS FS
+	// CheckpointDir, when non-empty, makes the run durable: on
+	// interruption (Context/Deadline) — and every CheckpointEvery levels
+	// — the engine seals the current spill runs and arena segments into
+	// this directory with a manifest, and a later run with ResumeFrom
+	// continues where it stopped, with verdict and counts identical to an
+	// uninterrupted run. Requires StateArena (the parent-chain replay
+	// that reconstructs the frontier's live states) and fingerprint
+	// deduplication (rejected alongside CollisionFree and plugged-in
+	// stores); checkpointed runs are level-synchronized, so
+	// ScheduleWorkSteal falls back to ScheduleLevelSync.
+	CheckpointDir string
+	// CheckpointEvery checkpoints every N completed BFS levels in
+	// addition to checkpoint-on-interrupt (0 = only on interrupt).
+	// Requires CheckpointDir.
+	CheckpointEvery int
+	// ResumeFrom continues a checkpointed run from the given directory.
+	// The spec (name, action and invariant names) and the result-shaping
+	// options (MaxStates, MaxDepth, ForceKeyEncoding) must match the
+	// checkpointing run; mismatches are rejected with ErrBadCheckpoint.
+	// The checkpoint directory itself is never modified, so one
+	// checkpoint can be resumed any number of times. Subject to the same
+	// option constraints as CheckpointDir.
+	ResumeFrom string
+	// CheckpointMeta is an opaque caller blob stored verbatim in the
+	// checkpoint manifest and surfaced by ReadCheckpointInfo — the hook
+	// the CLIs use to persist the flag configuration a resumed process
+	// needs to rebuild the identical spec.
+	CheckpointMeta map[string]string
+}
+
+// checkpointing reports whether the run writes or resumes checkpoints.
+func (o Options) checkpointing() bool {
+	return o.CheckpointDir != "" || o.ResumeFrom != ""
 }
 
 // ErrInvalidOptions is the named error every Options (and TraceOptions)
@@ -247,6 +304,18 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: unknown Schedule %d (ScheduleLevelSync, ScheduleWorkSteal)", ErrInvalidOptions, o.Schedule)
 	case o.StateArena && o.RecordGraph:
 		return fmt.Errorf("%w: StateArena retains encodings and RecordGraph retains live states; set one", ErrInvalidOptions)
+	case !o.Deadline.IsZero() && !o.Deadline.After(time.Now()):
+		return fmt.Errorf("%w: Deadline %s is in the past", ErrInvalidOptions, o.Deadline.Format(time.RFC3339))
+	case o.CheckpointEvery < 0:
+		return fmt.Errorf("%w: negative CheckpointEvery %d (0 means checkpoint only on interrupt)", ErrInvalidOptions, o.CheckpointEvery)
+	case o.CheckpointEvery > 0 && o.CheckpointDir == "":
+		return fmt.Errorf("%w: CheckpointEvery needs a CheckpointDir to write to", ErrInvalidOptions)
+	case o.checkpointing() && !o.StateArena:
+		return fmt.Errorf("%w: checkpoint/resume needs StateArena: the arena's parent chains and stored encodings are what reconstruct the frontier's live states on resume", ErrInvalidOptions)
+	case o.checkpointing() && o.CollisionFree:
+		return fmt.Errorf("%w: checkpoints persist 64-bit fingerprints; CollisionFree keys the visited set on full encodings, which are not persisted", ErrInvalidOptions)
+	case o.checkpointing() && (o.Visited != nil || o.Frontier != nil):
+		return fmt.Errorf("%w: checkpoint/resume drives the built-in stores; plugged-in Visited/Frontier stores own their lifecycle and cannot be sealed", ErrInvalidOptions)
 	}
 	return nil
 }
@@ -291,6 +360,22 @@ type Result[S State] struct {
 	Violation      *Violation[S]
 	Graph          *Graph[S] // non-nil iff Options.RecordGraph
 	ConstraintCuts int       // states whose successors were skipped by the constraint
+	// Interrupted reports that the run stopped early because
+	// Options.Context was canceled or Options.Deadline passed; the
+	// counters above describe the partial exploration. The companion
+	// error wraps ErrInterrupted. A counterexample is never reported by
+	// an interrupted run — absence of a Violation means "none found so
+	// far", not "none exists".
+	Interrupted bool
+	// DegradedMemory reports that a persistent I/O failure (ENOSPC on a
+	// spill or segment write) forced the run to fall back to resident
+	// retention: the verdict and counters are exact, but
+	// MemoryBudgetBytes was no longer honoured from the failure on.
+	DegradedMemory bool
+	// CheckpointPath is the directory of the last checkpoint the run
+	// wrote (empty when none was written); `minitlc -resume` or
+	// Options.ResumeFrom continues from it.
+	CheckpointPath string
 }
 
 type stateEntry struct {

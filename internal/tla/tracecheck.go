@@ -1,8 +1,10 @@
 package tla
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Observation is one step of an observed execution trace. A trace event from
@@ -48,6 +50,12 @@ type TraceResult struct {
 	// Explanations[i] is the sorted set of action names that could have
 	// produced observation i+1 from some state in frontier i (diagnostics).
 	Explanations [][]string
+	// Interrupted reports that the run stopped early because
+	// TraceOptions.Context was canceled: Steps observations were matched
+	// before the stop, OK is false, and the companion error wraps
+	// ErrInterrupted. FailedStep stays -1 — an interrupted trace did not
+	// diverge, it was not finished.
+	Interrupted bool
 }
 
 // TraceError is returned when a trace is not a behaviour of the spec.
@@ -71,13 +79,24 @@ type TraceOptions struct {
 	// are closed under stuttering, so a faithful trace checker must accept
 	// implementation events that changed no modelled variable.
 	Stuttering bool
+	// Context, when non-nil, cancels the run cooperatively: the frontier
+	// advance checks it between observations and returns the partial
+	// TraceResult (Interrupted set) with an error wrapping ErrInterrupted.
+	// The CLIs wire SIGINT/SIGTERM here.
+	Context context.Context
+	// Deadline, when set, bounds the run in wall-clock time, composed with
+	// Context exactly as Options.Deadline is.
+	Deadline time.Time
 }
 
 // Validate rejects nonsensical trace-checking options with
 // ErrInvalidOptions, mirroring Options.Validate.
 func (o TraceOptions) Validate() error {
-	if o.Workers < 0 {
+	switch {
+	case o.Workers < 0:
 		return fmt.Errorf("%w: negative Workers %d (0 means GOMAXPROCS, 1 is sequential)", ErrInvalidOptions, o.Workers)
+	case !o.Deadline.IsZero() && !o.Deadline.After(time.Now()):
+		return fmt.Errorf("%w: Deadline %s is in the past", ErrInvalidOptions, o.Deadline.Format(time.RFC3339))
 	}
 	return nil
 }
@@ -132,6 +151,8 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 		res.OK = true
 		return res, nil
 	}
+	st := newStopper(opts.Context, opts.Deadline, nil)
+	defer st.close()
 	workers := resolveWorkers(opts.Workers)
 	cod := newCodec(&Spec[S]{}, false) // symmetry-free codec: binary fast path only
 	// Per-worker codec clones persist across observations; index 0 is the
@@ -160,6 +181,10 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 	res.FrontierSizes = append(res.FrontierSizes, len(frontier))
 
 	for i := 1; i < len(trace); i++ {
+		if st.stopped() {
+			res.Interrupted = true
+			return res, st.err()
+		}
 		chunks := advanceFrontier(spec, wcods, frontier, trace[i], opts.Stuttering)
 
 		next := frontier[:0:0]
