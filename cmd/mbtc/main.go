@@ -40,7 +40,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "trace-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry     = flag.Bool("symmetry", false, "declare node ids interchangeable on the specification (note: trace checking ignores symmetry)")
 		memBudget    = flag.Int64("mem-budget", 0, "visited-set spill budget (accepted for CLI uniformity; trace checking keeps its frontier resident)")
-		schedule     = flag.String("schedule", "levelsync", "exploration schedule (accepted for CLI uniformity; trace checking advances one observation at a time)")
+		schedule     = flag.String("schedule", "levelsync", "exploration schedule: levelsync/level-sync or worksteal/work-steal (accepted for CLI uniformity; trace checking advances one observation at a time)")
 	)
 	flag.Parse()
 
@@ -75,7 +75,7 @@ func run(ctx context.Context, scenarioName, specVariant string, fuzz bool, steps
 		// Accepted for CLI uniformity with minitlc/mbtcg: the frontier
 		// method advances observation by observation, so there is no level
 		// structure to reschedule.
-		fmt.Fprintln(os.Stderr, "mbtc: note: trace checking advances one observation at a time; -schedule applies to full exploration (minitlc, mbtcg) only")
+		fmt.Fprintln(os.Stderr, "mbtc: warning: -schedule worksteal was downgraded: trace checking advances one observation at a time; -schedule applies to full exploration (minitlc, mbtcg) only")
 	}
 	if memBudget != 0 {
 		// The flag is accepted for CLI uniformity with minitlc/mbtcg; the

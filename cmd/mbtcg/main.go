@@ -8,7 +8,7 @@
 // Usage:
 //
 //	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N] [-symmetry] [-mem-budget BYTES] \
-//	      [-schedule levelsync|worksteal]
+//	      [-schedule levelsync|worksteal] [-arena]
 package main
 
 import (
@@ -36,7 +36,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "model-checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "symmetry reduction (accepted for CLI uniformity; array_ot has none)")
 		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
-		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync (deterministic BFS and DOT output) or worksteal (barrier-free; same cases, nondeterministic graph order)")
+		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync or level-sync (deterministic BFS and DOT output), worksteal or work-steal (barrier-free; same cases, nondeterministic graph order)")
+		arena     = flag.Bool("arena", false, "serve the state graph from the checker's encoded-state arena instead of live values (with -mem-budget it spills to disk, so generation runs on graphs that never fit in RAM)")
 	)
 	flag.Parse()
 	if *symmetry {
@@ -51,34 +52,33 @@ func main() {
 	// pipeline with the partial-state count. A second signal kills normally.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule); err != nil {
+	if err := run(ctx, *dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule, *arena); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtcg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string) error {
+func run(ctx context.Context, dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string, arena bool) error {
 	sched, err := tla.ParseSchedule(schedule)
 	if err != nil {
 		return err
 	}
-	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget, Schedule: sched, Context: ctx}
+	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget, Schedule: sched, StateArena: arena, Context: ctx}
 	if err := opts.Validate(); err != nil {
 		return err
 	}
 	if sched == tla.ScheduleWorkSteal {
-		if memBudget > 0 {
-			fmt.Fprintln(os.Stderr, "mbtcg: note: the spilling visited store is level-synchronized; -mem-budget falls the run back to -schedule levelsync")
-		} else {
-			fmt.Fprintln(os.Stderr, "mbtcg: note: worksteal generates the same cases but numbers graph states nondeterministically; diff DOT output across runs only under levelsync")
-		}
+		fmt.Fprintln(os.Stderr, "mbtcg: note: worksteal generates the same cases but numbers graph states nondeterministically; diff DOT output across runs only under levelsync")
 	}
-	cases, distinct, err := mbtcg.GenerateOpts(arrayot.DefaultConfig(), dotPath, opts)
+	cases, res, err := mbtcg.GenerateResult(arrayot.DefaultConfig(), dotPath, opts)
 	if err != nil {
 		return err
 	}
+	if sched == tla.ScheduleWorkSteal && res.Schedule != tla.ScheduleWorkSteal {
+		fmt.Fprintf(os.Stderr, "mbtcg: warning: -schedule worksteal was downgraded to %s (bounded depth, memory budgets, store plugs, and checkpoint/resume are level-synchronized)\n", res.Schedule)
+	}
 	fmt.Printf("model checked array_ot: %d distinct states; generated %d test cases (paper: 4,913)\n",
-		distinct, len(cases))
+		res.Distinct, len(cases))
 
 	if ms := mbtcg.RunAll(cases, ot.NewTransformer(nil, false)); len(ms) != 0 {
 		fmt.Printf("reference implementation FAILED %d cases; first: %s\n", len(ms), ms[0])

@@ -93,8 +93,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "symmetry reduction over interchangeable identities (raftmongo nodes, locking actors)")
 		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
-		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync (deterministic BFS, shortest counterexamples) or worksteal (barrier-free, identical verdicts and counts)")
-		arena     = flag.Bool("arena", false, "retain discovered states as encoded bytes in an append-only arena instead of live values (cuts retention memory; counterexamples are replayed; incompatible with -dot/-liveness)")
+		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync or level-sync (deterministic BFS, shortest counterexamples), worksteal or work-steal (barrier-free, identical verdicts and counts)")
+		arena     = flag.Bool("arena", false, "retain discovered states as encoded bytes in an append-only arena instead of live values (cuts retention memory; counterexamples and the -dot/-liveness graph are decoded from the arena)")
 		ckDir     = flag.String("checkpoint", "", "write a resumable checkpoint to this directory on interrupt (and periodically with -checkpoint-every); implies -arena")
 		ckEvery   = flag.Int("checkpoint-every", 0, "additionally checkpoint every N BFS levels (0 = only on interrupt; needs -checkpoint)")
 		resume    = flag.String("resume", "", "resume the run checkpointed in this directory (spec flags are restored from the checkpoint); implies -arena and, unless -checkpoint says otherwise, further checkpoints go to the same directory")
@@ -157,12 +157,6 @@ func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, wor
 	if err := opts.Validate(); err != nil {
 		return err
 	}
-	if sched == tla.ScheduleWorkSteal && memBudget > 0 {
-		fmt.Fprintln(os.Stderr, "minitlc: note: the spilling visited store is level-synchronized; -mem-budget falls the run back to -schedule levelsync (-arena still spills retained states)")
-	}
-	if sched == tla.ScheduleWorkSteal && (ckDir != "" || resume != "") {
-		fmt.Fprintln(os.Stderr, "minitlc: note: checkpoints are sealed at BFS level boundaries; -checkpoint/-resume falls the run back to -schedule levelsync")
-	}
 	if sched == tla.ScheduleWorkSteal && opts.RecordGraph {
 		fmt.Fprintln(os.Stderr, "minitlc: note: worksteal numbers graph states nondeterministically; liveness verdicts are unaffected, but diff DOT output across runs only under levelsync")
 	}
@@ -187,7 +181,7 @@ func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, wor
 			if w == -1 {
 				fmt.Println("liveness: commit point is eventually propagated — OK")
 			} else {
-				fmt.Printf("liveness FAILED: state %q cannot reach agreement\n", res.Graph.Keys[w])
+				fmt.Printf("liveness FAILED: state %q cannot reach agreement\n", res.Graph.KeyAt(w))
 			}
 		}
 		return dump(res.Graph, dotPath, spec.Name)
@@ -229,6 +223,9 @@ func check[S tla.State](spec *tla.Spec[S], opts tla.Options) (*tla.Result[S], er
 	if res != nil && res.DegradedMemory {
 		fmt.Fprintln(os.Stderr, "minitlc: warning: a persistent I/O failure disabled disk spilling; results are exact but -mem-budget was not honoured (DegradedMemory)")
 	}
+	if res != nil && opts.Schedule == tla.ScheduleWorkSteal && res.Schedule != tla.ScheduleWorkSteal {
+		fmt.Fprintf(os.Stderr, "minitlc: warning: -schedule worksteal was downgraded to %s (bounded depth, memory budgets, store plugs, and checkpoint/resume are level-synchronized)\n", res.Schedule)
+	}
 	if err != nil {
 		switch {
 		case res != nil && res.Violation != nil:
@@ -265,8 +262,14 @@ func check[S tla.State](spec *tla.Spec[S], opts tla.Options) (*tla.Result[S], er
 	return res, nil
 }
 
+// dump writes the state graph as DOT and closes it, releasing any arena
+// spill file backing an -arena graph.
 func dump[S tla.State](g *tla.Graph[S], path, name string) error {
-	if path == "" || g == nil {
+	if g == nil {
+		return nil
+	}
+	defer g.Close()
+	if path == "" {
 		return nil
 	}
 	f, err := os.Create(path)
@@ -277,6 +280,6 @@ func dump[S tla.State](g *tla.Graph[S], path, name string) error {
 	if err := g.WriteDOT(f, name); err != nil {
 		return err
 	}
-	fmt.Printf("state graph written to %s (%d nodes, %d edges)\n", path, len(g.Keys), len(g.Edges))
+	fmt.Printf("state graph written to %s (%d nodes, %d edges)\n", path, g.Len(), g.NumEdges())
 	return nil
 }

@@ -46,7 +46,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "trace-checker worker goroutines for -check (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "declare node ids interchangeable on the specification (note: trace checking ignores symmetry)")
 		memBudget = flag.Int64("mem-budget", 0, "visited-set spill budget (accepted for CLI uniformity; trace checking keeps its frontier resident)")
-		schedule  = flag.String("schedule", "levelsync", "exploration schedule (accepted for CLI uniformity; trace checking advances one observation at a time)")
+		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync/level-sync or worksteal/work-steal (accepted for CLI uniformity; trace checking advances one observation at a time)")
 	)
 	flag.Parse()
 	// First signal stops the trace checker cooperatively (the fuzzer run
@@ -67,7 +67,7 @@ func run(ctx context.Context, steps int, seed int64, nodes int, outDir string, f
 	if sched, err := tla.ParseSchedule(schedule); err != nil {
 		return err
 	} else if sched != tla.ScheduleLevelSync {
-		fmt.Fprintln(os.Stderr, "rollback-fuzzer: note: trace checking advances one observation at a time; -schedule applies to full exploration (minitlc, mbtcg) only")
+		fmt.Fprintln(os.Stderr, "rollback-fuzzer: warning: -schedule worksteal was downgraded: trace checking advances one observation at a time; -schedule applies to full exploration (minitlc, mbtcg) only")
 	}
 	if symmetry {
 		// Accepted for CLI uniformity with minitlc/mbtc/mbtcg, but the

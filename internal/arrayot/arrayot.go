@@ -144,6 +144,51 @@ func (s State) AppendBinary(buf []byte) []byte {
 	return append(buf, s.MergeErr...)
 }
 
+// DecodeBinary implements tla.BinaryDecoder: the inverse of AppendBinary,
+// letting the checker's retained-state arena reconstruct states directly
+// from their stored encodings (counterexamples, checkpoint resume, and the
+// arena-backed state graph MBTCG consumes). The receiver is a sample state
+// of the run: the encoding deliberately omits the transformer — run
+// configuration, not state — so the decoder recovers it from the sample's
+// deployment, falling back to the reference transformer on a zero-value
+// receiver.
+func (s State) DecodeBinary(enc []byte) (State, error) {
+	var tr ot.BatchTransformer
+	if s.Net != nil {
+		tr = s.Net.Transformer()
+	}
+	if tr == nil {
+		tr = ot.NewTransformer(nil, false)
+	}
+	net, rest, err := ot.DecodeNetworkBinary(tr, enc)
+	if err != nil {
+		return State{}, fmt.Errorf("arrayot: decode: %w", err)
+	}
+	nPerf, k := binary.Uvarint(rest)
+	if k <= 0 || nPerf > uint64(len(rest)) {
+		return State{}, fmt.Errorf("arrayot: decode: bad Performed length")
+	}
+	rest = rest[k:]
+	perf := make([]int, nPerf)
+	for i := range perf {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return State{}, fmt.Errorf("arrayot: decode: truncated Performed")
+		}
+		perf[i] = int(v)
+		rest = rest[k:]
+	}
+	mlen, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return State{}, fmt.Errorf("arrayot: decode: truncated MergeErr length")
+	}
+	rest = rest[k:]
+	if uint64(len(rest)) != mlen {
+		return State{}, fmt.Errorf("arrayot: decode: MergeErr length %d, %d bytes remain", mlen, len(rest))
+	}
+	return State{Net: net, Performed: perf, MergeErr: string(rest)}, nil
+}
+
 // ParsedState is the decoded form of a state key, used by the MBTCG
 // generator after parsing the DOT dump.
 type ParsedState struct {

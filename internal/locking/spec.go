@@ -62,6 +62,23 @@ func (s SpecState) AppendBinary(buf []byte) []byte {
 	return buf
 }
 
+// DecodeBinary implements tla.BinaryDecoder: the inverse of AppendBinary.
+// Three bytes per actor, each byte mode+1 in 0..4; the actor count is the
+// encoding length over three, so a zero-value receiver works.
+func (s SpecState) DecodeBinary(enc []byte) (SpecState, error) {
+	if len(enc)%3 != 0 {
+		return SpecState{}, fmt.Errorf("locking: decode: length %d not a multiple of 3", len(enc))
+	}
+	held := make([][3]int8, len(enc)/3)
+	for i, b := range enc {
+		if b > byte(X)+1 {
+			return SpecState{}, fmt.Errorf("locking: decode: bad mode byte %d at offset %d", b, i)
+		}
+		held[i/3][i%3] = int8(b) - 1
+	}
+	return SpecState{Held: held}, nil
+}
+
 // ActorOrbits is the spec's symmetry declaration
 // (tla.Spec.SymmetryVisitor): each call returns a fresh per-worker
 // enumerator that visits the orbit of a state under every non-identity

@@ -64,32 +64,48 @@ func GenerateWith(cfg arrayot.Config, dotPath string, workers int) ([]TestCase, 
 // the engine accepts; a MemoryBudgetBytes lets the model-checking half run
 // in bounded memory, spilling fingerprint shards to disk.
 func GenerateOpts(cfg arrayot.Config, dotPath string, opts tla.Options) ([]TestCase, int, error) {
-	opts.RecordGraph = true
-	res, err := tla.Check(arrayot.Spec(cfg), opts)
-	if err != nil {
-		return nil, 0, fmt.Errorf("mbtcg: model checking failed: %w", err)
-	}
-	f, err := os.Create(dotPath)
-	if err != nil {
-		return nil, 0, err
-	}
-	if err := res.Graph.WriteDOT(f, "array_ot"); err != nil {
-		f.Close()
-		return nil, 0, err
-	}
-	if err := f.Close(); err != nil {
-		return nil, 0, err
-	}
-	rf, err := os.Open(dotPath)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer rf.Close()
-	cases, err := FromDOT(rf, cfg.Initial)
+	cases, res, err := GenerateResult(cfg, dotPath, opts)
 	if err != nil {
 		return nil, 0, err
 	}
 	return cases, res.Distinct, nil
+}
+
+// GenerateResult is GenerateOpts returning the full checker Result
+// alongside the cases, so callers can inspect the effective schedule,
+// counters, or violation. With opts.StateArena the graph is served from
+// the checker's retained-state arena — under a MemoryBudgetBytes it spills
+// to disk, so the generation pipeline runs on state graphs that never fit
+// in RAM (arrayot.State implements tla.BinaryDecoder). The graph is closed
+// before returning: the DOT file is the pipeline's hand-off artifact.
+func GenerateResult(cfg arrayot.Config, dotPath string, opts tla.Options) ([]TestCase, *tla.Result[arrayot.State], error) {
+	opts.RecordGraph = true
+	res, err := tla.Check(arrayot.Spec(cfg), opts)
+	if err != nil {
+		return nil, res, fmt.Errorf("mbtcg: model checking failed: %w", err)
+	}
+	defer res.Graph.Close()
+	f, err := os.Create(dotPath)
+	if err != nil {
+		return nil, res, err
+	}
+	if err := res.Graph.WriteDOT(f, "array_ot"); err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, res, err
+	}
+	rf, err := os.Open(dotPath)
+	if err != nil {
+		return nil, res, err
+	}
+	defer rf.Close()
+	cases, err := FromDOT(rf, cfg.Initial)
+	if err != nil {
+		return nil, res, err
+	}
+	return cases, res, nil
 }
 
 // FromDOT parses a DOT state-graph dump of the array_ot specification and

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fuzzer"
 	"repro/internal/ot"
 	"repro/internal/otgo"
+	"repro/internal/tla"
 )
 
 // generateDefault runs the full pipeline once per test binary.
@@ -33,6 +34,42 @@ func generate(t *testing.T) []TestCase {
 	}
 	defaultCases = cases
 	return cases
+}
+
+// TestGenerateArenaSpilled: the pipeline run on an arena-backed state
+// graph spilled to disk under a one-byte memory budget produces a DOT dump
+// byte-identical to the resident live-graph run's, and the same cases —
+// the §5 generation pipeline on state graphs that never fit in RAM.
+func TestGenerateArenaSpilled(t *testing.T) {
+	cfg := arrayot.Config{Initial: []int{1, 2, 3}, Clients: 2, OpsPerClient: 1, Transformer: ot.NewTransformer(nil, false)}
+	dir := t.TempDir()
+	liveDot := filepath.Join(dir, "live.dot")
+	want, _, err := GenerateOpts(cfg, liveDot, tla.Options{})
+	if err != nil {
+		t.Fatalf("live: %v", err)
+	}
+	arenaDot := filepath.Join(dir, "arena.dot")
+	got, res, err := GenerateResult(cfg, arenaDot, tla.Options{StateArena: true, MemoryBudgetBytes: 1})
+	if err != nil {
+		t.Fatalf("arena: %v", err)
+	}
+	if res.Distinct == 0 {
+		t.Fatal("no states explored")
+	}
+	wantDOT, err := os.ReadFile(liveDot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDOT, err := os.ReadFile(arenaDot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotDOT, wantDOT) {
+		t.Fatal("arena DOT dump differs from the live run's")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("arena cases differ from the live run's (%d vs %d)", len(got), len(want))
+	}
 }
 
 // TestGeneratedCount is experiment E10's headline: the pipeline generates

@@ -58,6 +58,12 @@ func NewNetwork(tr BatchTransformer, initial []int, numClients int) *Network {
 // NumClients returns the number of clients in the deployment.
 func (n *Network) NumClients() int { return len(n.clientState) }
 
+// Transformer returns the deployment's transformer. DecodeNetworkBinary
+// needs it: the binary encoding deliberately omits the transformer (it is
+// run configuration, not state), so a decoder recovers it from a sample
+// deployment of the same run.
+func (n *Network) Transformer() BatchTransformer { return n.tr }
+
 // Clone returns an independent deep copy of the deployment, sharing only
 // the transformer. Model-checking explores deployments as immutable
 // values; actions clone before mutating.
@@ -140,6 +146,125 @@ func appendIntsBinary(buf []byte, xs []int) []byte {
 		buf = binary.AppendVarint(buf, int64(x))
 	}
 	return buf
+}
+
+// DecodeNetworkBinary is the inverse of AppendBinary: it rebuilds a
+// deployment from the front of buf and returns it together with the
+// remaining bytes. tr supplies the transformer the encoding omits. The
+// decoded deployment shares nothing with buf, so the caller may reuse the
+// buffer. A malformed encoding — truncated varint, impossible operation
+// kind — returns an error rather than a partial deployment.
+func DecodeNetworkBinary(tr BatchTransformer, buf []byte) (*Network, []byte, error) {
+	n := &Network{tr: tr}
+	var err error
+	if n.serverLog, buf, err = decodeOpsBinary(buf); err != nil {
+		return nil, nil, err
+	}
+	if n.serverState, buf, err = decodeIntsBinary(buf); err != nil {
+		return nil, nil, err
+	}
+	numClients, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.clientLog = make([][]Op, numClients)
+	n.clientState = make([][]int, numClients)
+	n.progress = make([]Progress, numClients)
+	for c := 0; c < int(numClients); c++ {
+		if n.clientLog[c], buf, err = decodeOpsBinary(buf); err != nil {
+			return nil, nil, err
+		}
+		if n.clientState[c], buf, err = decodeIntsBinary(buf); err != nil {
+			return nil, nil, err
+		}
+		sv, rest, err := decodeUvarint(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, rest2, err := decodeUvarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.progress[c] = Progress{ServerVersion: int(sv), ClientVersion: int(cv)}
+		buf = rest2
+	}
+	return n, buf, nil
+}
+
+func decodeUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("ot: decode: truncated or oversized uvarint")
+	}
+	return v, buf[n:], nil
+}
+
+func decodeVarint(buf []byte) (int64, []byte, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("ot: decode: truncated or oversized varint")
+	}
+	return v, buf[n:], nil
+}
+
+func decodeOpsBinary(buf []byte) ([]Op, []byte, error) {
+	count, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > uint64(len(buf)) {
+		// Each op costs at least one byte; an impossible count means a
+		// corrupt length prefix, not a log to allocate for.
+		return nil, nil, fmt.Errorf("ot: decode: op count %d exceeds remaining %d bytes", count, len(buf))
+	}
+	ops := make([]Op, count)
+	for i := range ops {
+		if len(buf) == 0 {
+			return nil, nil, fmt.Errorf("ot: decode: truncated op")
+		}
+		kind := Kind(buf[0])
+		if kind > KindClear {
+			return nil, nil, fmt.Errorf("ot: decode: unknown op kind %d", kind)
+		}
+		buf = buf[1:]
+		var ndx, to, value, ts, peer int64
+		if ndx, buf, err = decodeVarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if to, buf, err = decodeVarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if value, buf, err = decodeVarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if ts, buf, err = decodeVarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if peer, buf, err = decodeVarint(buf); err != nil {
+			return nil, nil, err
+		}
+		ops[i] = Op{Kind: kind, Ndx: int(ndx), To: int(to), Value: int(value), Meta: Meta{Timestamp: int(ts), Peer: int(peer)}}
+	}
+	return ops, buf, nil
+}
+
+func decodeIntsBinary(buf []byte) ([]int, []byte, error) {
+	count, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("ot: decode: int count %d exceeds remaining %d bytes", count, len(buf))
+	}
+	xs := make([]int, count)
+	for i := range xs {
+		var v int64
+		if v, buf, err = decodeVarint(buf); err != nil {
+			return nil, nil, err
+		}
+		xs[i] = int(v)
+	}
+	return xs, buf, nil
 }
 
 // Perform executes op locally on client c: it is applied to the client

@@ -129,6 +129,61 @@ func (s State) AppendBinary(buf []byte) []byte {
 	return buf
 }
 
+// DecodeBinary implements tla.BinaryDecoder: the inverse of AppendBinary.
+// The per-node encoding is self-delimiting, so the node count is recovered
+// by decoding until the buffer is exhausted — a zero-value receiver works;
+// no run configuration is needed.
+func (s State) DecodeBinary(enc []byte) (State, error) {
+	var out State
+	uvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(enc)
+		if k <= 0 {
+			return 0, fmt.Errorf("raftmongo: decode: truncated varint at node %d", len(out.Roles))
+		}
+		enc = enc[k:]
+		return v, nil
+	}
+	for len(enc) > 0 {
+		role := enc[0]
+		if role > byte(Leader) {
+			return State{}, fmt.Errorf("raftmongo: decode: bad role byte %d at node %d", role, len(out.Roles))
+		}
+		enc = enc[1:]
+		term, err := uvarint()
+		if err != nil {
+			return State{}, err
+		}
+		cpTerm, err := uvarint()
+		if err != nil {
+			return State{}, err
+		}
+		cpIndex, err := uvarint()
+		if err != nil {
+			return State{}, err
+		}
+		logLen, err := uvarint()
+		if err != nil {
+			return State{}, err
+		}
+		if logLen > uint64(len(enc)) {
+			return State{}, fmt.Errorf("raftmongo: decode: oplog length %d exceeds %d remaining bytes", logLen, len(enc))
+		}
+		log := make([]int, logLen)
+		for i := range log {
+			t, err := uvarint()
+			if err != nil {
+				return State{}, err
+			}
+			log[i] = int(t)
+		}
+		out.Roles = append(out.Roles, Role(role))
+		out.Terms = append(out.Terms, int(term))
+		out.CommitPoints = append(out.CommitPoints, CommitPoint{Term: int(cpTerm), Index: int(cpIndex)})
+		out.Oplogs = append(out.Oplogs, log)
+	}
+	return out, nil
+}
+
 // NodeOrbits is the spec's symmetry declaration (tla.Spec.SymmetryVisitor):
 // node ids are interchangeable — Init treats all nodes identically, every
 // action quantifies over all nodes, and oplog entries carry terms, never

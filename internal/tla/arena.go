@@ -2,6 +2,7 @@ package tla
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 )
 
@@ -23,17 +24,25 @@ import (
 // temp file and read back on demand, so the visited set AND trace storage
 // both respect the budget.
 //
-// Counterexample reconstruction is a replay, not a decode: BinaryState is
-// one-directional (AppendBinary has no inverse), so the arena walks the
-// violating state's parent chain and re-executes the recorded action at
-// each step, selecting the successor whose encoding matches the stored
-// bytes. The arena stores each state's plain encoding — not the
-// orbit-canonical one the visited store dedups on — because the plain
-// encoding identifies the exact state explored (encodings agree with
-// Key() by contract), so the replayed trace is byte-identical to what
-// live retention would have reported, even under symmetry reduction, and
-// storing it costs one AppendBinary per distinct state instead of an
-// orbit scan.
+// Counterexample reconstruction prefers a decode over a replay: when the
+// spec state implements BinaryDecoder, the arena walks the violating
+// state's parent chain and decodes each stored encoding directly. Specs
+// without a decoder fall back to the replay — re-execute the recorded
+// action at each step and select the successor whose encoding matches the
+// stored bytes. Either way the arena stores each state's plain encoding —
+// not the orbit-canonical one the visited store dedups on — because the
+// plain encoding identifies the exact state explored (encodings agree
+// with Key() by contract), so the reconstructed trace is byte-identical
+// to what live retention would have reported, even under symmetry
+// reduction, and storing it costs one AppendBinary per distinct state
+// instead of an orbit scan.
+//
+// With a decoder available the arena also doubles as the state graph's
+// backing store (Options.RecordGraph + Options.StateArena): graph edges
+// (parent id, action index, child id) are appended to their own segment
+// list as fixed-width records, spilled to the same temp file under the
+// same budget, and Result.Graph serves states and edges lazily from the
+// arena instead of retaining live values — see Graph.
 
 // arenaSegBytes is the target size of one arena segment. Segments are
 // sealed when full (or when a budget flush forces it) and become the unit
@@ -70,15 +79,28 @@ type stateArena struct {
 	fsys     FS
 	meta     []arenaMeta
 	segs     []arenaSeg
-	resident int64 // encoding bytes currently held in memory
+	resident int64 // encoding + edge bytes currently held in memory
 	file     File
 	fileSize int64
 	degraded bool // a persistent spill-write failure switched to live retention of segments
+
+	// Edge recording (Options.RecordGraph + Options.StateArena): graph
+	// edges live in their own segment list of fixed arenaEdgeBytes records,
+	// sharing the resident budget and the spill file with the encodings.
+	recordEdges bool
+	edgeSegs    []arenaSeg
+	edgeCount   int
+	lastFrom    int  // highest From appended so far; -1 before the first edge
+	edgesMono   bool // From values arrived in nondecreasing order (level-sync)
 }
 
 func newStateArena(budget int64, fsys FS) *stateArena {
-	return &stateArena{budget: budget, fsys: resolveFS(fsys)}
+	return &stateArena{budget: budget, fsys: resolveFS(fsys), lastFrom: -1, edgesMono: true}
 }
+
+// arenaEdgeBytes is the fixed size of one recorded edge: from uint32,
+// action index uint16, to uint32, all little-endian.
+const arenaEdgeBytes = 10
 
 func (a *stateArena) len() int { return len(a.meta) }
 
@@ -118,6 +140,87 @@ func segCap(need int) int {
 	return arenaSegBytes
 }
 
+// addEdge appends one graph edge as a fixed-width record. Edge bytes count
+// against the same resident budget as encodings and spill with them.
+func (a *stateArena) addEdge(from int, act uint16, to int) error {
+	if len(a.edgeSegs) == 0 || a.edgeSegs[len(a.edgeSegs)-1].spilled ||
+		a.edgeSegs[len(a.edgeSegs)-1].size+arenaEdgeBytes > arenaSegBytes {
+		a.edgeSegs = append(a.edgeSegs, arenaSeg{buf: make([]byte, 0, arenaSegBytes)})
+	}
+	seg := &a.edgeSegs[len(a.edgeSegs)-1]
+	var rec [arenaEdgeBytes]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(from))
+	binary.LittleEndian.PutUint16(rec[4:6], act)
+	binary.LittleEndian.PutUint32(rec[6:10], uint32(to))
+	seg.buf = append(seg.buf, rec[:]...)
+	seg.size += arenaEdgeBytes
+	a.resident += arenaEdgeBytes
+	a.edgeCount++
+	if from < a.lastFrom {
+		a.edgesMono = false
+	} else {
+		a.lastFrom = from
+	}
+	if a.budget > 0 && a.resident > a.budget {
+		return a.flush()
+	}
+	return nil
+}
+
+// forEachEdge streams every recorded edge, in append order, to fn. Resident
+// segments are read in place; spilled segments are read back from the spill
+// file one whole segment (≤ arenaSegBytes) at a time. fn returning an error
+// stops the walk.
+func (a *stateArena) forEachEdge(fn func(from int, act uint16, to int) error) error {
+	var buf []byte
+	for i := range a.edgeSegs {
+		seg := &a.edgeSegs[i]
+		var b []byte
+		if seg.spilled {
+			var err error
+			if buf, err = a.edgeSegBytes(i, buf[:0]); err != nil {
+				return err
+			}
+			b = buf
+		} else {
+			b = seg.buf[:seg.size]
+		}
+		for off := 0; off+arenaEdgeBytes <= len(b); off += arenaEdgeBytes {
+			from := int(binary.LittleEndian.Uint32(b[off : off+4]))
+			act := binary.LittleEndian.Uint16(b[off+4 : off+6])
+			to := int(binary.LittleEndian.Uint32(b[off+6 : off+10]))
+			if err := fn(from, act, to); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// edgeSegBytes appends the full byte run of edge segment i to buf — the
+// edge-list analogue of segBytes, used by forEachEdge and checkpointing.
+func (a *stateArena) edgeSegBytes(i int, buf []byte) ([]byte, error) {
+	seg := &a.edgeSegs[i]
+	if !seg.spilled {
+		return append(buf, seg.buf[:seg.size]...), nil
+	}
+	lo := len(buf)
+	if cap(buf) < lo+seg.size {
+		grown := make([]byte, lo, lo+seg.size)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:lo+seg.size]
+	err := retryIO(func() error {
+		_, rerr := a.file.ReadAt(buf[lo:], seg.fileOff)
+		return rerr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tla: reading spilled arena edge segment: %w", err)
+	}
+	return buf, nil
+}
+
 // flush spills every resident segment — including the current one, which
 // is sealed by the act of spilling — to the arena's temp file and drops
 // the buffers. Encodings are append-only and never rewritten, so a
@@ -147,24 +250,26 @@ func (a *stateArena) flush() error {
 			return nil
 		}
 	}
-	for i := range a.segs {
-		seg := &a.segs[i]
-		if seg.spilled {
-			continue
+	for _, list := range [][]arenaSeg{a.segs, a.edgeSegs} {
+		for i := range list {
+			seg := &list[i]
+			if seg.spilled {
+				continue
+			}
+			err := retryIO(func() error {
+				_, werr := a.file.WriteAt(seg.buf[:seg.size], a.fileSize)
+				return werr
+			})
+			if err != nil {
+				a.degraded = true
+				return nil
+			}
+			seg.fileOff = a.fileSize
+			a.fileSize += int64(seg.size)
+			seg.buf = nil
+			seg.spilled = true
+			a.resident -= int64(seg.size)
 		}
-		err := retryIO(func() error {
-			_, werr := a.file.WriteAt(seg.buf[:seg.size], a.fileSize)
-			return werr
-		})
-		if err != nil {
-			a.degraded = true
-			return nil
-		}
-		seg.fileOff = a.fileSize
-		a.fileSize += int64(seg.size)
-		seg.buf = nil
-		seg.spilled = true
-		a.resident -= int64(seg.size)
 	}
 	return nil
 }
@@ -251,6 +356,11 @@ type retainer[S State] struct {
 	acts   []string // interned action names; acts[0] is the initial-state ""
 	actIdx map[string]uint16
 
+	// graphOwned marks that Result.Graph serves lazily from the arena: the
+	// graph, not the retainer, then owns the arena's spill file, and
+	// Graph.Close releases it instead of retainer.close.
+	graphOwned bool
+
 	// live mode
 	states  []S
 	entries []stateEntry
@@ -295,6 +405,12 @@ func (r *retainer[S]) add(s S, enc []byte, parent int, act string, depth int) er
 	r.states = append(r.states, s)
 	r.entries = append(r.entries, stateEntry{id: len(r.states) - 1, parent: parent, act: act, depth: depth})
 	return nil
+}
+
+// addEdge records one graph edge into the arena's edge segments (arena
+// graph mode only; live mode appends to Graph.Edges directly).
+func (r *retainer[S]) addEdge(from int, act string, to int) error {
+	return r.arena.addEdge(from, r.actIdx[act], to)
 }
 
 // retainLive parks a live value for a state the engine will expand later.
@@ -342,12 +458,14 @@ func (r *retainer[S]) releaseAll(ids []int) {
 }
 
 // trace reconstructs the initial-state-to-id trace and its action labels.
-// Live mode walks the retained states; arena mode replays the recorded
-// actions from the matching initial state, selecting at every step the
-// successor whose plain encoding equals the stored bytes (see the file
-// comment) — an exact match, so the replayed trace equals the live-mode
-// one byte for byte. cod must be a codec no expansion worker is using —
-// the merge goroutine's, or any codec after the workers joined.
+// Live mode walks the retained states. Arena mode decodes each stored
+// encoding on the parent chain when the spec implements BinaryDecoder;
+// otherwise it replays the recorded actions from the matching initial
+// state, selecting at every step the successor whose plain encoding equals
+// the stored bytes (see the file comment). Both reconstructions are exact —
+// the trace equals the live-mode one byte for byte. cod must be a codec no
+// expansion worker is using — the merge goroutine's, or any codec after
+// the workers joined.
 func (r *retainer[S]) trace(spec *Spec[S], cod *codec[S], id int) ([]S, []string, error) {
 	if r.arena == nil {
 		trace, acts := rebuildTrace(r.entries, r.states, id)
@@ -356,6 +474,28 @@ func (r *retainer[S]) trace(spec *Spec[S], cod *codec[S], id int) ([]S, []string
 	var rev []int
 	for i := id; i >= 0; i = int(r.arena.meta[i].parent) {
 		rev = append(rev, i)
+	}
+	if cod.dec != nil {
+		var enc []byte
+		trace := make([]S, 0, len(rev))
+		acts := make([]string, 0, len(rev)-1)
+		for i := len(rev) - 1; i >= 0; i-- {
+			sid := rev[i]
+			var err error
+			enc, err = r.arena.encoding(sid, enc[:0])
+			if err != nil {
+				return nil, nil, err
+			}
+			s, err := cod.dec(enc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("tla: arena decode: state %d: %w", sid, err)
+			}
+			if i < len(rev)-1 {
+				acts = append(acts, r.acts[r.arena.meta[sid].act])
+			}
+			trace = append(trace, s)
+		}
+		return trace, acts, nil
 	}
 	var target, cand []byte
 	trace := make([]S, 0, len(rev))
@@ -407,15 +547,31 @@ func (r *retainer[S]) trace(spec *Spec[S], cod *codec[S], id int) ([]S, []string
 	return trace, acts, nil
 }
 
+// decodeState reconstructs one state from its stored encoding (arena mode
+// with a bound decoder only). The lazy Graph serves StateAt/KeyAt from it.
+func (r *retainer[S]) decodeState(cod *codec[S], id int) (S, error) {
+	var zero S
+	enc, err := r.arena.encoding(id, nil)
+	if err != nil {
+		return zero, err
+	}
+	s, err := cod.dec(enc)
+	if err != nil {
+		return zero, fmt.Errorf("tla: arena decode: state %d: %w", id, err)
+	}
+	return s, nil
+}
+
 // degradedMemory reports whether the arena had to fall back to in-memory
 // retention after a persistent spill failure.
 func (r *retainer[S]) degradedMemory() bool {
 	return r.arena != nil && r.arena.degraded
 }
 
-// close releases the arena's spill file, if any.
+// close releases the arena's spill file, if any — unless the arena now
+// backs Result.Graph, whose Close owns that release.
 func (r *retainer[S]) close() error {
-	if r.arena == nil {
+	if r.arena == nil || r.graphOwned {
 		return nil
 	}
 	return r.arena.close()

@@ -33,6 +33,49 @@ func (s heavyState) AppendBinary(buf []byte) []byte {
 	return buf
 }
 
+func (s heavyState) DecodeBinary(enc []byte) (heavyState, error) {
+	if len(enc) == 0 {
+		return heavyState{}, fmt.Errorf("heavyState: decode: empty encoding")
+	}
+	n := int(enc[0])
+	enc = enc[1:]
+	out := heavyState{Roles: make([]byte, n), Terms: make([]int, n), Logs: make([][]int, n)}
+	uvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(enc)
+		if k <= 0 {
+			return 0, fmt.Errorf("heavyState: decode: truncated varint")
+		}
+		enc = enc[k:]
+		return v, nil
+	}
+	for i := 0; i < n; i++ {
+		if len(enc) == 0 {
+			return heavyState{}, fmt.Errorf("heavyState: decode: truncated at node %d", i)
+		}
+		out.Roles[i] = enc[0]
+		enc = enc[1:]
+		term, err := uvarint()
+		if err != nil {
+			return heavyState{}, err
+		}
+		out.Terms[i] = int(term)
+		logLen, err := uvarint()
+		if err != nil {
+			return heavyState{}, err
+		}
+		log := make([]int, logLen)
+		for j := range log {
+			t, err := uvarint()
+			if err != nil {
+				return heavyState{}, err
+			}
+			log[j] = int(t)
+		}
+		out.Logs[i] = log
+	}
+	return out, nil
+}
+
 func mkHeavyState(i int) heavyState {
 	s := heavyState{Roles: make([]byte, 3), Terms: make([]int, 3), Logs: make([][]int, 3)}
 	for n := 0; n < 3; n++ {
@@ -54,6 +97,56 @@ func mkHeavyState(i int) heavyState {
 // retaining 50k states, measured between forced GCs with the retention
 // still referenced; arena mode must come in severalfold under live mode
 // on this slice-heavy state.
+// BenchmarkArenaGraph measures the arena-native state graph: states and
+// edges recorded straight into the arena's append-only segments, resident
+// or spilling under a tight memory budget. Reported per variant: edge
+// recording throughput (edges/sec) and the heap bytes one state retains
+// with graph recording on (retained-B/state) — the number that must stay
+// flat as the graph grows, since edges live in segments, not the heap.
+func BenchmarkArenaGraph(b *testing.B) {
+	const n = 50000
+	spec := &Spec[heavyState]{
+		Name:    "heavy",
+		Actions: []Action[heavyState]{{Name: "Step"}},
+	}
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{{"resident", 0}, {"spill", 1 << 16}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				ret := newRetainer(spec, Options{StateArena: true, MemoryBudgetBytes: mode.budget})
+				ret.arena.recordEdges = true
+				var encBuf []byte
+				for j := 0; j < n; j++ {
+					s := mkHeavyState(j)
+					encBuf = s.AppendBinary(encBuf[:0])
+					if err := ret.add(s, encBuf, j-1, "Step", j); err != nil {
+						b.Fatal(err)
+					}
+					if j > 0 {
+						if err := ret.addEdge(j-1, "Step", j); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&after)
+				b.ReportMetric((float64(after.HeapAlloc)-float64(before.HeapAlloc))/n, "retained-B/state")
+				runtime.KeepAlive(ret)
+				if err := ret.close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*(n-1)/b.Elapsed().Seconds(), "edges/sec")
+		})
+	}
+}
+
 func BenchmarkArenaRetention(b *testing.B) {
 	const n = 50000
 	spec := &Spec[heavyState]{

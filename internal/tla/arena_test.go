@@ -233,11 +233,32 @@ func TestArenaSymmetryTrace(t *testing.T) {
 	assertTraceIsBehaviour(t, "arena-symmetry", mk(), got.Violation)
 }
 
-// TestArenaRejectsGraph pins the option conflict: RecordGraph retains
-// every live state, which is exactly what StateArena exists to avoid.
-func TestArenaRejectsGraph(t *testing.T) {
-	_, err := Check(counterSpec(3), Options{StateArena: true, RecordGraph: true})
+// TestArenaGraphWithoutDecoder pins the fallback for spec states with no
+// BinaryDecoder: StateArena+RecordGraph is accepted, the graph just falls
+// back to live retention of its columns (counterState implements neither
+// BinaryState nor BinaryDecoder) and matches a plain RecordGraph run —
+// while checkpointing, which cannot persist live values, rejects the
+// combination with a precise error.
+func TestArenaGraphWithoutDecoder(t *testing.T) {
+	want, err := Check(counterSpec(3), Options{RecordGraph: true})
+	if err != nil {
+		t.Fatalf("live: %v", err)
+	}
+	got, err := Check(counterSpec(3), Options{StateArena: true, RecordGraph: true})
+	if err != nil {
+		t.Fatalf("StateArena+RecordGraph = %v, want fallback to a live graph", err)
+	}
+	if got.Graph == nil || got.Graph.Len() != want.Graph.Len() || got.Graph.NumEdges() != want.Graph.NumEdges() {
+		t.Fatalf("fallback graph = %v, want %d nodes %d edges", got.Graph, want.Graph.Len(), want.Graph.NumEdges())
+	}
+	for id := 0; id < want.Graph.Len(); id++ {
+		if got.Graph.KeyAt(id) != want.Graph.KeyAt(id) {
+			t.Fatalf("node %d key = %q, want %q", id, got.Graph.KeyAt(id), want.Graph.KeyAt(id))
+		}
+	}
+
+	_, err = Check(counterSpec(3), Options{StateArena: true, RecordGraph: true, CheckpointDir: t.TempDir()})
 	if !errors.Is(err, ErrInvalidOptions) {
-		t.Fatalf("StateArena+RecordGraph = %v, want ErrInvalidOptions", err)
+		t.Fatalf("checkpointing graph without a decoder = %v, want ErrInvalidOptions", err)
 	}
 }

@@ -24,6 +24,32 @@ type BinaryState interface {
 	AppendBinary(buf []byte) []byte
 }
 
+// BinaryDecoder is the optional inverse of BinaryState: a spec state that
+// can reconstruct a state value from an encoding AppendBinary produced.
+// When a specification's state type implements it (alongside BinaryState),
+// the retained-state arena reconstructs states directly from their stored
+// encodings — counterexamples, checkpoint resume, and the arena-backed
+// state graph all decode instead of replaying the action sequence — and
+// Options.StateArena composes with Options.RecordGraph (see Graph).
+// Specs without a decoder keep the replay-based reconstruction.
+//
+// The contract mirrors BinaryState's: for every state s of the
+// specification, DecodeBinary(s.AppendBinary(nil)) must return a state
+// with s.Key() — decode∘encode is the identity on Key (the
+// FuzzDecodeBinaryRoundTrip targets in the spec packages enforce this on
+// randomized states). The receiver is a sample state of the same
+// specification, supplied so decoders can recover configuration an
+// encoding deliberately omits (a transformer, a node count); the engine
+// rebinds the decoder to a real initial state before first use, but
+// DecodeBinary must also behave on the zero-value receiver. An encoding
+// that decodes to no state of the spec returns an error. The caller may
+// reuse enc's backing array after the call returns, so the returned state
+// must not alias it. Like Key and AppendBinary it is called from multiple
+// goroutines on distinct inputs and must not mutate shared state.
+type BinaryDecoder[S State] interface {
+	DecodeBinary(enc []byte) (S, error)
+}
+
 // Permuter enumerates non-identity permutations, reusing its internal
 // buffers across calls: the per-enumeration allocations of the plain
 // Permutations function, amortized to zero. An OrbitVisitor closure keeps
@@ -82,25 +108,45 @@ func Permutations(n int, visit func(perm []int)) {
 // grown to the state size; codecs are therefore per-goroutine (workers
 // clone, and each clone gets its own enumerator from the spec's factory).
 type codec[S State] struct {
-	bin        func(S, []byte) []byte // non-nil iff S implements BinaryState (and it is not disabled)
-	symFactory func() OrbitVisitor[S] // non-nil iff the spec declares symmetry; per-clone source of sym
-	sym        OrbitVisitor[S]        // this goroutine's orbit enumerator
-	visit      func(S)                // pre-bound orbit-minimization step, allocated once per codec
-	a          []byte                 // scratch: current canonical (orbit-minimal) encoding
-	b          []byte                 // scratch: orbit-candidate encoding
+	bin        func(S, []byte) []byte  // non-nil iff S implements BinaryState (and it is not disabled)
+	dec        func([]byte) (S, error) // non-nil iff S also implements BinaryDecoder (and bin is active)
+	symFactory func() OrbitVisitor[S]  // non-nil iff the spec declares symmetry; per-clone source of sym
+	sym        OrbitVisitor[S]         // this goroutine's orbit enumerator
+	visit      func(S)                 // pre-bound orbit-minimization step, allocated once per codec
+	a          []byte                  // scratch: current canonical (orbit-minimal) encoding
+	b          []byte                  // scratch: orbit-candidate encoding
 }
 
 // newCodec builds the codec for spec under opts. The BinaryState check is
 // performed once, on the zero value of S, so the per-state cost is one
-// interface conversion rather than a type switch.
+// interface conversion rather than a type switch. The decoder is bound to
+// the zero-value receiver here and rebound to a real initial state by
+// bindDecoder before the engine first decodes — decoders that need
+// configuration off the receiver (arrayot's transformer) get it then.
+// ForceKeyEncoding disables the decoder along with the encoding: the arena
+// then stores Key() bytes, which only the replay can resolve.
 func newCodec[S State](spec *Spec[S], forceKeys bool) *codec[S] {
 	c := &codec[S]{symFactory: spec.SymmetryVisitor}
 	var zero S
 	if _, ok := any(zero).(BinaryState); ok && !forceKeys {
 		c.bin = func(s S, buf []byte) []byte { return any(s).(BinaryState).AppendBinary(buf) }
+		c.bindDecoder(zero)
 	}
 	c.bindOrbit()
 	return c
+}
+
+// bindDecoder (re)binds the codec's decode function to sample's receiver,
+// when S implements BinaryDecoder. The engines call it with a real initial
+// state as soon as Init has run, so decoders see the run's configuration
+// rather than the zero value.
+func (c *codec[S]) bindDecoder(sample S) {
+	if c.bin == nil {
+		return
+	}
+	if d, ok := any(sample).(BinaryDecoder[S]); ok {
+		c.dec = d.DecodeBinary
+	}
 }
 
 // bindOrbit instantiates this codec's enumerator and the visit closure it
@@ -122,7 +168,7 @@ func (c *codec[S]) bindOrbit() {
 // clone returns a codec with fresh scratch buffers and its own orbit
 // enumerator, for use by another goroutine.
 func (c *codec[S]) clone() *codec[S] {
-	n := &codec[S]{bin: c.bin, symFactory: c.symFactory}
+	n := &codec[S]{bin: c.bin, dec: c.dec, symFactory: c.symFactory}
 	n.bindOrbit()
 	return n
 }

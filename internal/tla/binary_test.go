@@ -21,6 +21,13 @@ func (s binState) AppendBinary(buf []byte) []byte {
 	return binary.BigEndian.AppendUint16(buf, s.B)
 }
 
+func (s binState) DecodeBinary(enc []byte) (binState, error) {
+	if len(enc) != 4 {
+		return binState{}, fmt.Errorf("binState: decode: length %d, want 4", len(enc))
+	}
+	return binState{A: binary.BigEndian.Uint16(enc), B: binary.BigEndian.Uint16(enc[2:])}, nil
+}
+
 // swapOrbit declares the two counters interchangeable: the orbit of s
 // under the only non-identity permutation of {A, B}, as freshly allocated
 // images — the materializing baseline the scratch-reusing visitor is

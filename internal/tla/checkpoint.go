@@ -20,6 +20,9 @@ import (
 //	g000000-arena.meta     fixed-width per-state records (parent, depth,
 //	                       action, encoding location) — the arena's meta
 //	g000000-arena.data     every arena segment's encoding bytes, in order
+//	g000000-arena.edges    the arena's graph-edge records (RecordGraph
+//	                       runs only): fixed 10-byte (from, action, to)
+//	                       rows in append order, segment by segment
 //	g000000-visited-*      sorted (fingerprint, id) runs — the visited set,
 //	                       in the spill store's run format regardless of
 //	                       which built-in store produced it
@@ -34,13 +37,17 @@ import (
 // rename succeeded.
 //
 // Resume (Options.ResumeFrom) restores the counters, the arena, and the
-// visited runs, then reconstructs the frontier's live states by replaying
-// each one's parent chain: BinaryState encodings have no decoder, so the
+// visited runs, then reconstructs the frontier's live states from their
+// stored encodings: decoded directly when the spec state implements
+// BinaryDecoder, otherwise by replaying each one's parent chain — the
 // stored parent id + action name + encoding bytes identify the state by
-// re-executing the recorded action and matching encodings — the same exact
+// re-executing the recorded action and matching encodings, the same exact
 // replay the arena's counterexample reconstruction uses. The checkpoint
 // directory itself is never modified by a resume, so one checkpoint can
-// seed any number of runs.
+// seed any number of runs. A checkpointed RecordGraph run also restores
+// its edge records, so the resumed run's graph covers the whole
+// exploration; resuming a graph run from a manifest written before edge
+// recording existed is rejected with ErrBadCheckpoint.
 //
 // Because the engine checkpoints only level boundaries (a mid-expansion
 // interrupt discards the level's candidates, whose side effects are
@@ -83,7 +90,17 @@ type ckManifest struct {
 	MetaFile       string            `json:"meta_file"`
 	DataFile       string            `json:"data_file"`
 	VisitedRuns    []string          `json:"visited_runs,omitempty"`
-	Files          []string          `json:"files"`
+	// Graph-edge records of a RecordGraph run; absent (EdgesFile empty) in
+	// manifests of non-graph runs and in manifests written before edge
+	// recording existed. All new fields are omitempty, so version 1 stays
+	// readable in both directions.
+	EdgeSegSizes []int    `json:"edge_seg_sizes,omitempty"`
+	EdgesFile    string   `json:"edges_file,omitempty"`
+	EdgeCount    int      `json:"edge_count,omitempty"`
+	EdgesMono    bool     `json:"edges_mono,omitempty"`
+	EdgeLastFrom int      `json:"edge_last_from,omitempty"`
+	Inits        []int    `json:"inits,omitempty"`
+	Files        []string `json:"files"`
 }
 
 // checkpointer tracks one run's checkpoint directory and generation
@@ -172,6 +189,16 @@ func writeCheckpoint[S State](ck *checkpointer, spec *Spec[S], opts Options, ret
 	}
 	files = append(files, dataName)
 
+	var edgesName string
+	if a.recordEdges {
+		edgesName = prefix + "arena.edges"
+		if err := retryIO(func() error { return writeArenaEdges(fsys, filepath.Join(ck.dir, edgesName), a) }); err != nil {
+			cleanup()
+			return "", err
+		}
+		files = append(files, edgesName)
+	}
+
 	runs, err := cv.snapshotRuns(fsys, ck.dir, prefix)
 	if err != nil {
 		cleanup()
@@ -182,6 +209,10 @@ func writeCheckpoint[S State](ck *checkpointer, spec *Spec[S], opts Options, ret
 	segSizes := make([]int, len(a.segs))
 	for i := range a.segs {
 		segSizes[i] = a.segs[i].size
+	}
+	edgeSegSizes := make([]int, len(a.edgeSegs))
+	for i := range a.edgeSegs {
+		edgeSegSizes[i] = a.edgeSegs[i].size
 	}
 	m := ckManifest{
 		Version:        ckVersion,
@@ -204,6 +235,16 @@ func writeCheckpoint[S State](ck *checkpointer, spec *Spec[S], opts Options, ret
 		DataFile:       dataName,
 		VisitedRuns:    runs,
 		Files:          files,
+	}
+	if a.recordEdges {
+		m.EdgeSegSizes = edgeSegSizes
+		m.EdgesFile = edgesName
+		m.EdgeCount = a.edgeCount
+		m.EdgesMono = a.edgesMono
+		m.EdgeLastFrom = a.lastFrom
+		if res.Graph != nil {
+			m.Inits = append([]int(nil), res.Graph.Inits...)
+		}
 	}
 	blob, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
@@ -318,6 +359,35 @@ func writeArenaData(fsys FS, path string, a *stateArena) error {
 	return nil
 }
 
+// writeArenaEdges streams every edge segment's records, in segment order,
+// into one file; the manifest's EdgeSegSizes delimit them on the way back.
+func writeArenaEdges(fsys FS, path string, a *stateArena) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		fsys.Remove(path)
+		return err
+	}
+	var scratch []byte
+	for i := range a.edgeSegs {
+		scratch, err = a.edgeSegBytes(i, scratch[:0])
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := f.Write(scratch); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(path)
+		return err
+	}
+	return nil
+}
+
 // readManifest loads and minimally validates dir's manifest. Every failure
 // — missing file, torn JSON, unknown version — wraps ErrBadCheckpoint.
 func readManifest(fsys FS, dir string) (*ckManifest, error) {
@@ -369,10 +439,11 @@ func ReadCheckpointInfo(dir string) (*CheckpointInfo, error) {
 }
 
 // restoreArena rebuilds the arena from a checkpoint: the meta records are
-// loaded wholesale and the data file is copied into a fresh spill file
-// (the checkpoint directory is never written to by a resume), with every
-// segment marked spilled at its cumulative offset. The copy runs in fixed
-// chunks at explicit offsets so transient read faults retry idempotently.
+// loaded wholesale and the data file — plus the edges file, when this run
+// records a graph — is copied into a fresh spill file (the checkpoint
+// directory is never written to by a resume), with every segment marked
+// spilled at its cumulative offset. The copies run in fixed chunks at
+// explicit offsets so transient read faults retry idempotently.
 func restoreArena(a *stateArena, fsys FS, dir string, m *ckManifest) error {
 	meta, err := readArenaMeta(fsys, filepath.Join(dir, m.MetaFile))
 	if err != nil {
@@ -382,12 +453,22 @@ func restoreArena(a *stateArena, fsys FS, dir string, m *ckManifest) error {
 		return fmt.Errorf("%w: arena meta holds %d states, manifest says %d", ErrBadCheckpoint, len(meta), m.Distinct)
 	}
 	a.meta = meta
-	total := int64(0)
+	dataTotal := int64(0)
 	for _, sz := range m.SegSizes {
-		a.segs = append(a.segs, arenaSeg{fileOff: total, size: sz, spilled: true})
-		total += int64(sz)
+		a.segs = append(a.segs, arenaSeg{fileOff: dataTotal, size: sz, spilled: true})
+		dataTotal += int64(sz)
 	}
-	if total == 0 {
+	edgeTotal := int64(0)
+	if a.recordEdges && m.EdgesFile != "" {
+		for _, sz := range m.EdgeSegSizes {
+			a.edgeSegs = append(a.edgeSegs, arenaSeg{fileOff: dataTotal + edgeTotal, size: sz, spilled: true})
+			edgeTotal += int64(sz)
+		}
+		a.edgeCount = m.EdgeCount
+		a.edgesMono = m.EdgesMono
+		a.lastFrom = m.EdgeLastFrom
+	}
+	if dataTotal+edgeTotal == 0 {
 		return nil
 	}
 	if err := retryIO(func() error {
@@ -400,45 +481,83 @@ func restoreArena(a *stateArena, fsys FS, dir string, m *ckManifest) error {
 	}); err != nil {
 		return err
 	}
-	src, err := fsys.Open(filepath.Join(dir, m.DataFile))
+	if err := copyIntoSpill(a, fsys, dir, m.DataFile, 0, dataTotal); err != nil {
+		return err
+	}
+	if edgeTotal > 0 {
+		if err := copyIntoSpill(a, fsys, dir, m.EdgesFile, dataTotal, edgeTotal); err != nil {
+			return err
+		}
+	}
+	a.fileSize = dataTotal + edgeTotal
+	return nil
+}
+
+// copyIntoSpill copies length bytes of dir/name into the arena's spill file
+// starting at dstOff, in 1MB chunks at explicit offsets.
+func copyIntoSpill(a *stateArena, fsys FS, dir, name string, dstOff, length int64) error {
+	if length == 0 {
+		return nil
+	}
+	src, err := fsys.Open(filepath.Join(dir, name))
 	if err != nil {
-		return fmt.Errorf("%w: opening %s: %v", ErrBadCheckpoint, m.DataFile, err)
+		return fmt.Errorf("%w: opening %s: %v", ErrBadCheckpoint, name, err)
 	}
 	defer src.Close()
 	buf := make([]byte, 1<<20)
-	for off := int64(0); off < total; {
+	for off := int64(0); off < length; {
 		n := int64(len(buf))
-		if total-off < n {
-			n = total - off
+		if length-off < n {
+			n = length - off
 		}
 		err := retryIO(func() error {
 			rn, rerr := src.ReadAt(buf[:n], off)
 			if int64(rn) != n {
 				if rerr == nil || errors.Is(rerr, io.EOF) {
-					return fmt.Errorf("%w: arena data file is %d bytes short", ErrBadCheckpoint, total-off-int64(rn))
+					return fmt.Errorf("%w: checkpoint file %s is %d bytes short", ErrBadCheckpoint, name, length-off-int64(rn))
 				}
 				return rerr
 			}
-			_, werr := a.file.WriteAt(buf[:n], off)
+			_, werr := a.file.WriteAt(buf[:n], dstOff+off)
 			return werr
 		})
 		if err != nil {
-			return fmt.Errorf("%w: restoring arena data: %v", ErrBadCheckpoint, err)
+			return fmt.Errorf("%w: restoring %s: %v", ErrBadCheckpoint, name, err)
 		}
 		off += n
 	}
-	a.fileSize = total
 	return nil
 }
 
 // reconstructStates rebuilds the live S values of the checkpointed
-// frontier by memoized parent-chain replay: a state's parent is
-// reconstructed first (cache-hit for shared ancestors), the recorded
-// action is re-executed, and the successor whose plain encoding matches
-// the stored bytes is the state — exact, because encodings identify states
-// by contract. Runs spec callbacks; the caller brackets it with a guard.
+// frontier. With a bound decoder each state is decoded straight from its
+// stored encoding — no parent chain, no replay. Otherwise it falls back to
+// memoized parent-chain replay: a state's parent is reconstructed first
+// (cache-hit for shared ancestors), the recorded action is re-executed,
+// and the successor whose plain encoding matches the stored bytes is the
+// state — exact, because encodings identify states by contract. Runs spec
+// callbacks; the caller brackets it with a guard.
 func reconstructStates[S State](spec *Spec[S], cod *codec[S], ret *retainer[S], ids []int) (map[int]S, error) {
 	cache := make(map[int]S, len(ids))
+	if cod.dec != nil {
+		var enc []byte
+		for _, id := range ids {
+			if id < 0 || id >= len(ret.arena.meta) {
+				return nil, fmt.Errorf("%w: frontier references state %d of %d", ErrBadCheckpoint, id, len(ret.arena.meta))
+			}
+			var err error
+			enc, err = ret.arena.encoding(id, enc[:0])
+			if err != nil {
+				return nil, err
+			}
+			s, err := cod.dec(enc)
+			if err != nil {
+				return nil, fmt.Errorf("%w: decoding state %d: %v", ErrBadCheckpoint, id, err)
+			}
+			cache[id] = s
+		}
+		return cache, nil
+	}
 	var target, cand []byte
 	var rec func(id int) (S, error)
 	rec = func(id int) (S, error) {
@@ -537,15 +656,27 @@ func resumeRun[S State](spec *Spec[S], opts Options, cod *codec[S], ret *retaine
 	if !ok {
 		return 0, fmt.Errorf("tla: visited store %T cannot adopt a checkpoint", vs)
 	}
+	if ret.arena.recordEdges && m.EdgesFile == "" {
+		return 0, fmt.Errorf("%w: checkpoint predates arena edge recording, so RecordGraph cannot be served from it; resume without RecordGraph, or re-run the checkpointing run with it", ErrBadCheckpoint)
+	}
 	res.Transitions = m.Transitions
 	res.Depth = m.Depth
 	res.Terminal = m.Terminal
 	res.ConstraintCuts = m.ConstraintCuts
+	if res.Graph != nil {
+		res.Graph.Inits = append([]int(nil), m.Inits...)
+	}
 	if err := restoreArena(ret.arena, fsys, dir, m); err != nil {
 		return 0, err
 	}
 	if err := cv.adoptRuns(fsys, dir, m.VisitedRuns); err != nil {
 		return 0, err
+	}
+	// Rebind the decoder to a real initial state before reconstruction (see
+	// BinaryDecoder); the replay fallback calls Init anyway, so the extra
+	// call costs a decoding spec nothing it wasn't already paying.
+	if inits := spec.Init(); len(inits) > 0 {
+		cod.bindDecoder(inits[0])
 	}
 	states, err := reconstructStates(spec, cod, ret, m.Frontier)
 	if err != nil {

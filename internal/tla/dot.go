@@ -14,6 +14,10 @@ import (
 // with the state's canonical key, and one edge per transition, labelled with
 // the action name. The MBTCG pipeline parses this file back (package mbtcg),
 // preserving the paper's TLC → DOT file → Golang generator boundary.
+//
+// Edges are emitted in deterministic (From, To, Action) order, so the same
+// exploration yields byte-identical output whether the graph is live or
+// arena-backed, resident or spilled.
 func (g *Graph[S]) WriteDOT(w io.Writer, name string) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "strict digraph %s {\n", dotID(name))
@@ -21,17 +25,30 @@ func (g *Graph[S]) WriteDOT(w io.Writer, name string) error {
 	for _, id := range g.Inits {
 		inits[id] = true
 	}
-	for id, key := range g.Keys {
-		attrs := fmt.Sprintf("label=%s", strconv.Quote(key))
+	n := g.Len()
+	for id := 0; id < n; id++ {
+		attrs := fmt.Sprintf("label=%s", strconv.Quote(g.KeyAt(id)))
 		if inits[id] {
 			attrs += ",style=filled"
 		}
 		fmt.Fprintf(bw, "  %d [%s];\n", id, attrs)
 	}
-	// Deterministic edge order.
-	edges := make([]Edge, len(g.Edges))
-	copy(edges, g.Edges)
-	sort.Slice(edges, func(i, j int) bool {
+	if err := g.writeDOTEdges(bw); err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// writeDOTEdges emits the edges in (From, To, Action) order. An
+// arena-backed graph whose edges were recorded with nondecreasing From
+// (level-sync: frontier ids ascend across levels) streams one From-block at
+// a time — sorting each contiguous block by (To, Action) is exactly the
+// global order, without ever materializing the full edge list. Otherwise —
+// live graphs, or work-steal arena graphs — the list is materialized and
+// sorted whole.
+func (g *Graph[S]) writeDOTEdges(bw *bufio.Writer) error {
+	less := func(edges []Edge, i, j int) bool {
 		if edges[i].From != edges[j].From {
 			return edges[i].From < edges[j].From
 		}
@@ -39,12 +56,41 @@ func (g *Graph[S]) WriteDOT(w io.Writer, name string) error {
 			return edges[i].To < edges[j].To
 		}
 		return edges[i].Action < edges[j].Action
-	})
-	for _, e := range edges {
-		fmt.Fprintf(bw, "  %d -> %d [label=%s];\n", e.From, e.To, strconv.Quote(e.Action))
 	}
-	fmt.Fprintln(bw, "}")
-	return bw.Flush()
+	emit := func(edges []Edge) {
+		for _, e := range edges {
+			fmt.Fprintf(bw, "  %d -> %d [label=%s];\n", e.From, e.To, strconv.Quote(e.Action))
+		}
+	}
+	if g.ret != nil && g.ret.arena.edgesMono {
+		var block []Edge
+		cur := -1
+		if err := g.ForEachEdge(func(e Edge) error {
+			if e.From != cur && len(block) > 0 {
+				sort.Slice(block, func(i, j int) bool { return less(block, i, j) })
+				emit(block)
+				block = block[:0]
+			}
+			cur = e.From
+			block = append(block, e)
+			return nil
+		}); err != nil {
+			return err
+		}
+		sort.Slice(block, func(i, j int) bool { return less(block, i, j) })
+		emit(block)
+		return nil
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	if err := g.ForEachEdge(func(e Edge) error {
+		edges = append(edges, e)
+		return nil
+	}); err != nil {
+		return err
+	}
+	sort.Slice(edges, func(i, j int) bool { return less(edges, i, j) })
+	emit(edges)
+	return nil
 }
 
 func dotID(s string) string {

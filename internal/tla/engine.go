@@ -147,6 +147,24 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	}
 	ret := newRetainer(spec, opts)
 
+	// A checkpointed graph must be arena-backed: live graph columns are not
+	// persisted, so a resumed run could never rebuild them without a
+	// decoder. Validate cannot see S, so the check lives here.
+	if opts.checkpointing() && opts.RecordGraph && cod.dec == nil {
+		return res, fmt.Errorf("%w: RecordGraph with checkpoint/resume needs the arena-backed graph, which requires the spec state to implement BinaryDecoder (and not ForceKeyEncoding)", ErrInvalidOptions)
+	}
+	// Arena-backed graph: with a decoder available, graph states and edges
+	// live in the arena (spilling under the budget with everything else)
+	// and Result.Graph serves them lazily. Without a decoder the graph
+	// falls back to live retention of its columns — correct, but resident.
+	arenaGraph := opts.RecordGraph && ret.arena != nil && cod.dec != nil
+	if arenaGraph {
+		ret.arena.recordEdges = true
+		ret.graphOwned = true
+		res.Graph.ret = ret
+		res.Graph.cod = cod
+	}
+
 	// ctl is the run's shared stop flag and first-panic slot; mg guards the
 	// merge goroutine's own spec-callback calls (expansion workers carry
 	// chunk-local guards — see expandFrontier). The stopper arms the same
@@ -158,11 +176,21 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	// Deferred teardown, innermost first: (1) finalize the result's
 	// counters and degradation flags on every exit path; (2) convert a
 	// merge-goroutine spec panic into the structured verdict (expansion
-	// panics are parked in ctl and handled inline); (3) release the
-	// retainer's spill file — after (2), whose trace replay may still read
-	// it; (4) release the stopper's watcher.
+	// panics are parked in ctl and handled inline); (3) resolve arena
+	// ownership — a run that failed without a violation discards its
+	// arena-backed graph so the spill file is not leaked behind a result
+	// nobody will traverse (a violation keeps the graph: callers dump it
+	// alongside the counterexample); (4) release the retainer's spill file
+	// — after (2), whose trace reconstruction may still read it, and
+	// honoring (3)'s ownership verdict; (5) release the stopper's watcher.
 	defer st.close()
 	defer ret.close()
+	defer func() {
+		if arenaGraph && err != nil && res.Violation == nil {
+			ret.graphOwned = false
+			res.Graph = nil
+		}
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			pi := mg.capture(r) // re-panics on engine bugs (guard unarmed)
@@ -232,7 +260,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		if depth > res.Depth {
 			res.Depth = depth
 		}
-		if res.Graph != nil {
+		if res.Graph != nil && !arenaGraph {
 			res.Graph.States = append(res.Graph.States, s)
 			res.Graph.Keys = append(res.Graph.Keys, s.Key())
 		}
@@ -279,6 +307,13 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		mg.enter(opInit, "", -1)
 		inits := spec.Init()
 		mg.exit()
+		if len(inits) > 0 {
+			// Rebind the decoder to a real initial state: decoders may
+			// carry run configuration the zero value lacks (see
+			// BinaryDecoder). Worker clones never decode, so only the
+			// merge codec needs the rebind.
+			cod.bindDecoder(inits[0])
+		}
 		for _, s := range inits {
 			mg.enter(opEncode, "", -1)
 			cenc := cod.canonical(s)
@@ -369,7 +404,13 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 						sid = c.entry.ID
 					}
 					if res.Graph != nil {
-						res.Graph.Edges = append(res.Graph.Edges, Edge{From: id, Action: c.act, To: sid})
+						if arenaGraph {
+							if aerr := ret.addEdge(id, c.act, sid); aerr != nil {
+								return res, aerr
+							}
+						} else {
+							res.Graph.Edges = append(res.Graph.Edges, Edge{From: id, Action: c.act, To: sid})
+						}
 					}
 					if viol != nil {
 						res.Violation = viol

@@ -62,14 +62,14 @@ type osFS struct{}
 // OSFS is the default FS: the real filesystem via package os.
 var OSFS FS = osFS{}
 
-func (osFS) Create(name string) (File, error)  { return os.Create(name) }
-func (osFS) Open(name string) (File, error)    { return os.Open(name) }
-func (osFS) MkdirAll(path string) error        { return os.MkdirAll(path, 0o755) }
+func (osFS) Create(name string) (File, error)     { return os.Create(name) }
+func (osFS) Open(name string) (File, error)       { return os.Open(name) }
+func (osFS) MkdirAll(path string) error           { return os.MkdirAll(path, 0o755) }
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(name string) error          { return os.Remove(name) }
-func (osFS) RemoveAll(path string) error       { return os.RemoveAll(path) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
 
-func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) CreateTemp(dir, pattern string) (File, error)  { return os.CreateTemp(dir, pattern) }
 func (osFS) MkdirTemp(dir, pattern string) (string, error) { return os.MkdirTemp(dir, pattern) }
 
 // resolveFS maps Options.FS to the FS the run uses.

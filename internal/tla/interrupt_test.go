@@ -161,9 +161,9 @@ func TestOptionsValidateRobustness(t *testing.T) {
 	bad := []Options{
 		{Deadline: past},
 		{CheckpointEvery: -1},
-		{CheckpointEvery: 3},                                                   // no CheckpointDir
-		{CheckpointDir: "ck"},                                                  // no StateArena
-		{ResumeFrom: "ck"},                                                     // no StateArena
+		{CheckpointEvery: 3},  // no CheckpointDir
+		{CheckpointDir: "ck"}, // no StateArena
+		{ResumeFrom: "ck"},    // no StateArena
 		{CheckpointDir: "ck", StateArena: true, CollisionFree: true},           // no fingerprints to persist
 		{CheckpointDir: "ck", StateArena: true, Visited: newMemVisited(false)}, // plugged store
 		{ResumeFrom: "ck", StateArena: true, Frontier: newLevelFrontier()},

@@ -74,7 +74,7 @@ func ParseSchedule(name string) (Schedule, error) {
 	case "worksteal", "work-steal":
 		return ScheduleWorkSteal, nil
 	}
-	return 0, fmt.Errorf("%w: unknown schedule %q (levelsync, worksteal)", ErrInvalidOptions, name)
+	return 0, fmt.Errorf("%w: unknown schedule %q (levelsync or level-sync, worksteal or work-steal)", ErrInvalidOptions, name)
 }
 
 // effectiveSchedule resolves the schedule Check actually runs. Work-steal
@@ -229,10 +229,14 @@ type wsEngine[S State] struct {
 	res  *Result[S]
 
 	// mu guards registration: the retainer (id assignment, arena append,
-	// live window), the recorded graph's state columns, and the first
-	// failure. Duplicate claims never take it.
+	// live window), the recorded graph's state columns (or arena edges),
+	// and the first failure. Duplicate claims never take it.
 	mu  sync.Mutex
 	ret *retainer[S]
+	// arenaGraph marks that the recorded graph is arena-backed (RecordGraph
+	// + StateArena + a bound decoder): alloc skips the live state columns
+	// and expand records edges into the arena under mu.
+	arenaGraph bool
 	// violID/violInv/violErr record the first invariant violation; the
 	// trace is reconstructed after the workers join.
 	violID  int
@@ -323,7 +327,7 @@ func (w *wsWorker[S]) alloc() int {
 	// Retain optimistically: almost every state is expanded. A constraint
 	// or stop releases it right after registration.
 	e.ret.retainLive(id, w.regS)
-	if e.res.Graph != nil {
+	if e.res.Graph != nil && !e.arenaGraph {
 		e.res.Graph.States = append(e.res.Graph.States, w.regS)
 		e.res.Graph.Keys = append(e.res.Graph.Keys, w.regS.Key())
 	}
@@ -397,7 +401,19 @@ func (w *wsWorker[S]) expand(it wsItem) {
 				return
 			}
 			if e.res.Graph != nil {
-				w.edges = append(w.edges, Edge{From: it.id, Action: a.Name, To: sid})
+				if e.arenaGraph {
+					e.mu.Lock()
+					aerr := e.ret.addEdge(it.id, a.Name, sid)
+					if aerr != nil {
+						e.failLocked(aerr)
+					}
+					e.mu.Unlock()
+					if aerr != nil {
+						return
+					}
+				} else {
+					w.edges = append(w.edges, Edge{From: it.id, Action: a.Name, To: sid})
+				}
 			}
 		}
 	}
@@ -459,8 +475,8 @@ func (w *wsWorker[S]) trySteal() (wsItem, bool) {
 
 // runWorkSteal is the barrier-free exploration loop behind
 // Options.Schedule == ScheduleWorkSteal.
-func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (*Result[S], error) {
-	res := &Result[S]{Spec: spec.Name}
+func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (res *Result[S], err error) {
+	res = &Result[S]{Spec: spec.Name}
 	if opts.RecordGraph {
 		res.Graph = &Graph[S]{}
 	}
@@ -476,6 +492,24 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (*Result[S]
 		deques: make([]wsDeque, workers),
 	}
 	cod := newCodec(spec, opts.ForceKeyEncoding)
+	if opts.RecordGraph && ret.arena != nil && cod.dec != nil {
+		// Arena-backed graph, as in the level-sync engine; work-steal
+		// appends edges from many workers, so From order is
+		// nondeterministic and WriteDOT will materialize-and-sort.
+		e.arenaGraph = true
+		ret.arena.recordEdges = true
+		ret.graphOwned = true
+		res.Graph.ret = ret
+		res.Graph.cod = cod
+	}
+	// Runs before ret.close (LIFO): a run that failed without a violation
+	// discards its arena-backed graph so ret.close releases the spill file.
+	defer func() {
+		if e.arenaGraph && err != nil && res.Violation == nil {
+			ret.graphOwned = false
+			res.Graph = nil
+		}
+	}()
 	ws := make([]*wsWorker[S], workers)
 	for i := range ws {
 		wcod := cod
@@ -506,6 +540,11 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (*Result[S]
 		ws[0].pg.enter(opInit, "", -1)
 		inits := spec.Init()
 		ws[0].pg.exit()
+		if len(inits) > 0 {
+			// Rebind the decoder to a real initial state (see
+			// BinaryDecoder); only cod — the trace/graph codec — decodes.
+			cod.bindDecoder(inits[0])
+		}
 		for _, s := range inits {
 			id := ws[0].register(s, -1, "", 0)
 			if res.Graph != nil && id >= 0 {

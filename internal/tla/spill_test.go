@@ -21,7 +21,6 @@ func TestOptionsValidate(t *testing.T) {
 		{CollisionFree: true, Visited: newMemVisited(true)},
 		{Schedule: Schedule(7)},
 		{Schedule: Schedule(-1)},
-		{StateArena: true, RecordGraph: true},
 	}
 	for _, opts := range bad {
 		if err := opts.Validate(); !errors.Is(err, ErrInvalidOptions) {

@@ -107,23 +107,109 @@ type Edge struct {
 }
 
 // Graph is the reachable-state graph recorded during checking. States are
-// numbered densely in BFS discovery order; Keys[i] is the canonical key of
-// state i.
+// numbered densely in BFS discovery order.
+//
+// The graph has two representations behind one API. In live mode (the
+// default under Options.RecordGraph) the exported slices hold everything:
+// States[i] is state i, Keys[i] its canonical key, Edges the transitions.
+// In arena mode (RecordGraph + StateArena on a BinaryDecoder spec) the
+// slices stay empty except Inits, and states and edges are served lazily
+// from the retained-state arena — resident segments or the spill file —
+// so a graph larger than memory is still fully traversable. Consumers
+// should therefore use the accessors (Len, NumEdges, StateAt, KeyAt,
+// ForEachEdge) rather than the slices; an arena-mode graph owns the
+// arena's spill file, and the caller releases it with Close when done.
+//
+// Arena-mode accessors that cannot return an error (StateAt, KeyAt, and
+// the traversals built on them) panic if a spilled segment has become
+// unreadable — reconstruction reads are required reads, exactly as in
+// counterexample reconstruction, and a silent wrong answer is worse.
 type Graph[S State] struct {
 	States []S
 	Keys   []string
 	Edges  []Edge
 	Inits  []int
 
+	// arena mode: the run's retainer (holding the arena) and a codec with
+	// the bound decoder; nil in live mode.
+	ret *retainer[S]
+	cod *codec[S]
+
 	adjOnce sync.Once
 	adj     [][]Edge
+}
+
+// Len returns the number of states in the graph.
+func (g *Graph[S]) Len() int {
+	if g.ret != nil {
+		return g.ret.arena.len()
+	}
+	return len(g.States)
+}
+
+// NumEdges returns the number of recorded transitions.
+func (g *Graph[S]) NumEdges() int {
+	if g.ret != nil {
+		return g.ret.arena.edgeCount
+	}
+	return len(g.Edges)
+}
+
+// StateAt returns state id — from the slice in live mode, decoded from its
+// stored encoding in arena mode (panicking on an arena read failure; see
+// the type comment).
+func (g *Graph[S]) StateAt(id int) S {
+	if g.ret != nil {
+		s, err := g.ret.decodeState(g.cod, id)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	return g.States[id]
+}
+
+// KeyAt returns the canonical key of state id.
+func (g *Graph[S]) KeyAt(id int) string {
+	if g.ret != nil {
+		return g.StateAt(id).Key()
+	}
+	return g.Keys[id]
+}
+
+// ForEachEdge streams every recorded edge to fn in recorded order,
+// stopping at the first error. In arena mode edges are read back segment
+// by segment, so the full edge list is never materialized.
+func (g *Graph[S]) ForEachEdge(fn func(Edge) error) error {
+	if g.ret != nil {
+		return g.ret.arena.forEachEdge(func(from int, act uint16, to int) error {
+			return fn(Edge{From: from, Action: g.ret.acts[act], To: to})
+		})
+	}
+	for _, e := range g.Edges {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the arena spill file an arena-mode graph owns. Live-mode
+// graphs hold no resources; Close is then a no-op. After Close, accessors
+// may fail on spilled data — close only when done with the graph.
+func (g *Graph[S]) Close() error {
+	if g.ret == nil || !g.ret.graphOwned {
+		return nil
+	}
+	g.ret.graphOwned = false
+	return g.ret.arena.close()
 }
 
 // Successors returns the outgoing edges of state id, in recorded order.
 // The adjacency index is built once, on first use; callers must not append
 // further edges after querying.
 func (g *Graph[S]) Successors(id int) []Edge {
-	if id < 0 || id >= len(g.States) {
+	if id < 0 || id >= g.Len() {
 		return nil
 	}
 	return g.adjacency()[id]
@@ -131,8 +217,12 @@ func (g *Graph[S]) Successors(id int) []Edge {
 
 // Options configures a model-checking run.
 type Options struct {
-	// RecordGraph retains every state and edge so the Result carries a
-	// Graph. Required for DOT export, liveness checking and MBTCG.
+	// RecordGraph records every state and edge so the Result carries a
+	// Graph. Required for DOT export, liveness checking and MBTCG. Alone
+	// it retains live states and edges in memory; combined with StateArena
+	// on a spec whose state implements BinaryDecoder, the graph is instead
+	// served lazily from the arena's (possibly disk-spilled) segments —
+	// see Graph.
 	RecordGraph bool
 	// MaxStates aborts exploration after this many distinct states
 	// (0 = unlimited). The checker returns ErrStateLimit.
@@ -171,12 +261,14 @@ type Options struct {
 	// bounds deduplication memory. With MemoryBudgetBytes set, sealed
 	// arena segments spill to disk under the same budget, so the visited
 	// set and trace storage both respect it. Counterexamples are
-	// reconstructed by replaying the recorded actions against the stored
-	// encodings (BinaryState encodings have no inverse); the arena stores
-	// each state's plain encoding, which identifies the exact state
-	// explored, so the replayed trace is byte-identical to live
-	// retention's — including under symmetry reduction. Incompatible with
-	// RecordGraph, which retains every live state by definition.
+	// reconstructed from the stored encodings — decoded directly when the
+	// state implements BinaryDecoder, replayed through the recorded
+	// actions otherwise; the arena stores each state's plain encoding,
+	// which identifies the exact state explored, so the reconstructed
+	// trace is byte-identical to live retention's — including under
+	// symmetry reduction. Combined with RecordGraph on a BinaryDecoder
+	// spec, the arena also backs the state graph (see Graph); without a
+	// decoder the graph falls back to live retention of its states.
 	StateArena bool
 	// CollisionFree makes the parallel path deduplicate on full canonical
 	// keys instead of 64-bit fingerprints, trading memory and speed for
@@ -302,8 +394,6 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: CollisionFree selects the full-encoding store and Visited plugs in another; set one", ErrInvalidOptions)
 	case o.Schedule < ScheduleLevelSync || o.Schedule > ScheduleWorkSteal:
 		return fmt.Errorf("%w: unknown Schedule %d (ScheduleLevelSync, ScheduleWorkSteal)", ErrInvalidOptions, o.Schedule)
-	case o.StateArena && o.RecordGraph:
-		return fmt.Errorf("%w: StateArena retains encodings and RecordGraph retains live states; set one", ErrInvalidOptions)
 	case !o.Deadline.IsZero() && !o.Deadline.After(time.Now()):
 		return fmt.Errorf("%w: Deadline %s is in the past", ErrInvalidOptions, o.Deadline.Format(time.RFC3339))
 	case o.CheckpointEvery < 0:
@@ -376,6 +466,12 @@ type Result[S State] struct {
 	// wrote (empty when none was written); `minitlc -resume` or
 	// Options.ResumeFrom continues from it.
 	CheckpointPath string
+	// Schedule is the exploration schedule the run actually used. It can
+	// differ from Options.Schedule: ScheduleWorkSteal silently falls back
+	// to ScheduleLevelSync for runs that need level semantics (MaxDepth,
+	// MemoryBudgetBytes, plugged-in stores, checkpointing) — callers that
+	// requested work-stealing should compare and tell the user.
+	Schedule Schedule
 }
 
 type stateEntry struct {
@@ -408,19 +504,29 @@ func Check[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 		return nil, errNoInit
 	}
 	workers := resolveWorkers(opts.Workers)
-	if opts.effectiveSchedule() == ScheduleWorkSteal {
-		return runWorkSteal(spec, opts, workers)
+	eff := opts.effectiveSchedule()
+	var (
+		res *Result[S]
+		err error
+	)
+	if eff == ScheduleWorkSteal {
+		res, err = runWorkSteal(spec, opts, workers)
+	} else {
+		vs := opts.Visited
+		if vs == nil {
+			vs = newVisitedStore(opts, workers)
+			defer vs.Close()
+		}
+		fr := opts.Frontier
+		if fr == nil {
+			fr = newLevelFrontier()
+		}
+		res, err = runEngine(spec, opts, workers, vs, fr)
 	}
-	vs := opts.Visited
-	if vs == nil {
-		vs = newVisitedStore(opts, workers)
-		defer vs.Close()
+	if res != nil {
+		res.Schedule = eff
 	}
-	fr := opts.Frontier
-	if fr == nil {
-		fr = newLevelFrontier()
-	}
-	return runEngine(spec, opts, workers, vs, fr)
+	return res, err
 }
 
 func rebuildTrace[S State](entries []stateEntry, states []S, id int) ([]S, []string) {
@@ -444,12 +550,15 @@ func rebuildTrace[S State](entries []stateEntry, states []S, id int) ([]S, []str
 // its one operation and merged"), these are the completed behaviours —
 // MBTCG derives one test case per terminal state.
 func (g *Graph[S]) TerminalStates() []int {
-	hasOut := make([]bool, len(g.States))
-	for _, e := range g.Edges {
+	hasOut := make([]bool, g.Len())
+	if err := g.ForEachEdge(func(e Edge) error {
 		hasOut[e.From] = true
+		return nil
+	}); err != nil {
+		panic(err)
 	}
 	var out []int
-	for id := range g.States {
+	for id := range hasOut {
 		if !hasOut[id] {
 			out = append(out, id)
 		}
@@ -461,7 +570,7 @@ func (g *Graph[S]) TerminalStates() []int {
 // given state id, or nil if unreachable. The graph records BFS order, so
 // parent-following via edges is reconstructed by a fresh BFS here.
 func (g *Graph[S]) PathTo(id int) []int {
-	parent := make([]int, len(g.States))
+	parent := make([]int, g.Len())
 	for i := range parent {
 		parent[i] = -2 // unvisited
 	}
@@ -496,12 +605,17 @@ func (g *Graph[S]) PathTo(id int) []int {
 }
 
 // adjacency returns the per-state outgoing-edge index, building it lazily
-// on first use (one O(E) pass instead of a rescan per Successors call).
+// on first use (one O(E) pass instead of a rescan per Successors call). In
+// arena mode the index materializes every edge in memory — callers that
+// can stream should prefer ForEachEdge.
 func (g *Graph[S]) adjacency() [][]Edge {
 	g.adjOnce.Do(func() {
-		g.adj = make([][]Edge, len(g.States))
-		for _, e := range g.Edges {
+		g.adj = make([][]Edge, g.Len())
+		if err := g.ForEachEdge(func(e Edge) error {
 			g.adj[e.From] = append(g.adj[e.From], e)
+			return nil
+		}); err != nil {
+			panic(err)
 		}
 	})
 	return g.adj
@@ -522,14 +636,18 @@ func CheckEventually[S State](g *Graph[S], p func(S) bool) int {
 // boundary are recorded but never expanded, so they trivially cannot reach
 // anything; TLC likewise evaluates liveness only inside the constraint.
 func CheckEventuallyWithin[S State](g *Graph[S], p func(S) bool, within func(S) bool) int {
-	canReach := make([]bool, len(g.States))
-	radj := make([][]int, len(g.States))
-	for _, e := range g.Edges {
+	n := g.Len()
+	canReach := make([]bool, n)
+	radj := make([][]int, n)
+	if err := g.ForEachEdge(func(e Edge) error {
 		radj[e.To] = append(radj[e.To], e.From)
+		return nil
+	}); err != nil {
+		panic(err)
 	}
 	var queue []int
-	for id, s := range g.States {
-		if p(s) {
+	for id := 0; id < n; id++ {
+		if p(g.StateAt(id)) {
 			canReach[id] = true
 			queue = append(queue, id)
 		}
@@ -544,8 +662,8 @@ func CheckEventuallyWithin[S State](g *Graph[S], p func(S) bool, within func(S) 
 			}
 		}
 	}
-	for id, s := range g.States {
-		if !canReach[id] && (within == nil || within(s)) {
+	for id := 0; id < n; id++ {
+		if !canReach[id] && (within == nil || within(g.StateAt(id))) {
 			return id
 		}
 	}
@@ -555,8 +673,11 @@ func CheckEventuallyWithin[S State](g *Graph[S], p func(S) bool, within func(S) 
 // ActionNames returns the sorted set of action names appearing in g's edges.
 func (g *Graph[S]) ActionNames() []string {
 	set := make(map[string]bool)
-	for _, e := range g.Edges {
+	if err := g.ForEachEdge(func(e Edge) error {
 		set[e.Action] = true
+		return nil
+	}); err != nil {
+		panic(err)
 	}
 	names := make([]string, 0, len(set))
 	for n := range set {
