@@ -16,6 +16,7 @@ import (
 	"repro/internal/arrayot"
 	"repro/internal/coverage"
 	"repro/internal/fuzzer"
+	"repro/internal/locking"
 	"repro/internal/mbtc"
 	"repro/internal/mbtcg"
 	"repro/internal/ot"
@@ -434,6 +435,74 @@ func BenchmarkSymmetryReduction(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkPORReduction measures ample-set partial-order reduction on the
+// two specs that declare transition independence: the replica-set spec
+// (where commit-point learning and per-node elections commute across
+// nodes — the paying case) and the locking spec (where only releases are
+// deferrable and every release revisits an ancestor state — the sound
+// no-win case, expected at ~1x). Each variant runs unpruned and pruned at
+// the small config; the states metric carries the explored count, the
+// reduction metric the unpruned/pruned ratio CI's bench-delta stage
+// watches, and states/sec the throughput cost of the per-state ample
+// analysis.
+func BenchmarkPORReduction(b *testing.B) {
+	rcfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
+	variants := []struct {
+		name string
+		run  func(por bool) (*tla.Result[raftmongo.State], error)
+	}{
+		{"raftmongo-v1", func(por bool) (*tla.Result[raftmongo.State], error) {
+			return tla.Check(raftmongo.SpecV1(rcfg), tla.Options{PartialOrder: por})
+		}},
+		{"raftmongo-v2", func(por bool) (*tla.Result[raftmongo.State], error) {
+			return tla.Check(raftmongo.SpecV2(rcfg), tla.Options{PartialOrder: por})
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var states int64
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				full, err := v.run(false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				por, err := v.run(true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states += int64(full.Distinct) + int64(por.Distinct)
+				ratio = float64(full.Distinct) / float64(por.Distinct)
+				b.ReportMetric(float64(por.Distinct), "states")
+			}
+			b.ReportMetric(ratio, "reduction")
+			reportStatesPerSec(b, states)
+		})
+	}
+	b.Run("locking", func(b *testing.B) {
+		b.ReportAllocs()
+		var states int64
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			full, err := tla.Check(locking.Spec(locking.SpecConfig{Actors: 3}), tla.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			por, err := tla.Check(locking.Spec(locking.SpecConfig{Actors: 3}), tla.Options{PartialOrder: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			states += int64(full.Distinct) + int64(por.Distinct)
+			ratio = float64(full.Distinct) / float64(por.Distinct)
+			b.ReportMetric(float64(por.Distinct), "states")
+		}
+		b.ReportMetric(ratio, "reduction")
+		reportStatesPerSec(b, states)
+	})
 }
 
 // BenchmarkSpillCheck measures the disk-spilling fingerprint store against

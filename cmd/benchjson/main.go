@@ -1,0 +1,197 @@
+// Command benchjson starts the repository's machine-readable performance
+// trajectory: it runs the reduction and throughput measurements that CI's
+// bench-delta stage watches as Go benchmarks, in-process, and writes them
+// as one JSON file per PR — BENCH_8.json for this one; future PRs append
+// BENCH_<n>.json next to it so the series can be diffed and plotted
+// without parsing `go test -bench` text.
+//
+// Schema (schema_version 1):
+//
+//	{
+//	  "schema_version": 1,            // bump on incompatible changes
+//	  "pr": 8,                        // -pr; the PR this file snapshots
+//	  "go_version": "go1.x",          // runtime.Version()
+//	  "gomaxprocs": 4,                // worker parallelism the run saw
+//	  "config": "small",              // -config: small | full
+//	  "benchmarks": [
+//	    {
+//	      "name": "por/raftmongo-v1",  // family/spec, stable across PRs
+//	      "distinct_states": 2338,     // explored by the measured run
+//	      "baseline_states": 7599,     // explored by its baseline run
+//	      "reduction": 3.25,           // baseline_states / distinct_states
+//	      "states_per_sec": 133423,    // distinct of both runs / wall time
+//	      "allocs_per_op": 598267,     // heap allocations, both runs
+//	      "bytes_per_op": 41385224,    // heap bytes allocated, both runs
+//	      "wall_seconds": 0.074        // both runs, wall clock
+//	    }, ...
+//	  ]
+//	}
+//
+// Families: "por/<spec>" measures ample-set partial-order reduction
+// against the unpruned run; "symmetry/<spec>" measures symmetry reduction
+// against the asymmetric run; "symmetry+por/<spec>" measures the composed
+// cut against symmetry alone (so its reduction is POR's marginal factor);
+// "throughput/<spec>" has no baseline (baseline_states 0, reduction 1)
+// and exists to track raw states/sec.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_8.json] [-pr 8] [-config small|full]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/locking"
+	"repro/internal/raftmongo"
+	"repro/internal/tla"
+)
+
+type benchmark struct {
+	Name           string  `json:"name"`
+	DistinctStates int     `json:"distinct_states"`
+	BaselineStates int     `json:"baseline_states"`
+	Reduction      float64 `json:"reduction"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+	AllocsPerOp    uint64  `json:"allocs_per_op"`
+	BytesPerOp     uint64  `json:"bytes_per_op"`
+	WallSeconds    float64 `json:"wall_seconds"`
+}
+
+type report struct {
+	SchemaVersion int         `json:"schema_version"`
+	PR            int         `json:"pr"`
+	GoVersion     string      `json:"go_version"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Config        string      `json:"config"`
+	Benchmarks    []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_8.json", "output path")
+		pr     = flag.Int("pr", 8, "PR number recorded in the report")
+		config = flag.String("config", "small", "state-space size: small (3 nodes, 2 terms, logs of 2) or full (the paper's 3/3/3)")
+	)
+	flag.Parse()
+	if err := run(*out, *pr, *config); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// measure runs baseline then measured, folding both runs' cost into one
+// benchmark row: the reduction families pay for two explorations by
+// construction, and charging both keeps allocs/op comparable across PRs.
+func measure(name string, baseline, measured func() (int, error)) (benchmark, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	base, err := baseline()
+	if err != nil {
+		return benchmark{}, fmt.Errorf("%s baseline: %w", name, err)
+	}
+	dist, err := measured()
+	if err != nil {
+		return benchmark{}, fmt.Errorf("%s: %w", name, err)
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	red := 1.0
+	if base > 0 && dist > 0 {
+		red = float64(base) / float64(dist)
+	}
+	return benchmark{
+		Name:           name,
+		DistinctStates: dist,
+		BaselineStates: base,
+		Reduction:      red,
+		StatesPerSec:   float64(base+dist) / wall,
+		AllocsPerOp:    after.Mallocs - before.Mallocs,
+		BytesPerOp:     after.TotalAlloc - before.TotalAlloc,
+		WallSeconds:    wall,
+	}, nil
+}
+
+func run(out string, pr int, config string) error {
+	rcfg := raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2}
+	switch config {
+	case "small":
+	case "full":
+		rcfg = raftmongo.DefaultConfig
+	default:
+		return fmt.Errorf("unknown -config %q (small or full)", config)
+	}
+	lcfg := locking.SpecConfig{Actors: 3}
+
+	distinct := func(spec *tla.Spec[raftmongo.State], opts tla.Options) func() (int, error) {
+		return func() (int, error) {
+			res, err := tla.Check(spec, opts)
+			if err != nil {
+				return 0, err
+			}
+			return res.Distinct, nil
+		}
+	}
+	ldistinct := func(opts tla.Options) func() (int, error) {
+		return func() (int, error) {
+			res, err := tla.Check(locking.Spec(lcfg), opts)
+			if err != nil {
+				return 0, err
+			}
+			return res.Distinct, nil
+		}
+	}
+	none := func() (int, error) { return 0, nil }
+	symCfg := rcfg
+	symCfg.Symmetric = true
+
+	rep := report{
+		SchemaVersion: 1,
+		PR:            pr,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Config:        config,
+	}
+	for _, m := range []struct {
+		name               string
+		baseline, measured func() (int, error)
+	}{
+		{"por/raftmongo-v1", distinct(raftmongo.SpecV1(rcfg), tla.Options{}), distinct(raftmongo.SpecV1(rcfg), tla.Options{PartialOrder: true})},
+		{"por/raftmongo-v2", distinct(raftmongo.SpecV2(rcfg), tla.Options{}), distinct(raftmongo.SpecV2(rcfg), tla.Options{PartialOrder: true})},
+		{"por/locking", ldistinct(tla.Options{}), ldistinct(tla.Options{PartialOrder: true})},
+		{"symmetry/raftmongo-v2", distinct(raftmongo.SpecV2(rcfg), tla.Options{}), distinct(raftmongo.SpecV2(symCfg), tla.Options{})},
+		{"symmetry+por/raftmongo-v2", distinct(raftmongo.SpecV2(symCfg), tla.Options{}), distinct(raftmongo.SpecV2(symCfg), tla.Options{PartialOrder: true})},
+		{"throughput/raftmongo-v2", none, distinct(raftmongo.SpecV2(rcfg), tla.Options{})},
+	} {
+		b, err := measure(m.name, m.baseline, m.measured)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s states=%-8d baseline=%-8d reduction=%.2fx states/sec=%.0f\n",
+			b.Name, b.DistinctStates, b.BaselineStates, b.Reduction, b.StatesPerSec)
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -14,7 +14,7 @@
 //
 //	minitlc -spec raftmongo-v1|raftmongo-v2|arrayot|locking \
 //	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
-//	        [-dot out.dot] [-liveness] [-workers N] [-symmetry] [-mem-budget BYTES] \
+//	        [-dot out.dot] [-liveness] [-workers N] [-symmetry] [-por] [-mem-budget BYTES] \
 //	        [-schedule levelsync|worksteal] [-arena] \
 //	        [-checkpoint DIR] [-checkpoint-every N] [-resume DIR]
 package main
@@ -46,6 +46,7 @@ type specConfig struct {
 	maxLog   int
 	actors   int
 	symmetry bool
+	por      bool
 }
 
 func (c specConfig) meta() map[string]string {
@@ -56,6 +57,7 @@ func (c specConfig) meta() map[string]string {
 		"max-log":  strconv.Itoa(c.maxLog),
 		"actors":   strconv.Itoa(c.actors),
 		"symmetry": strconv.FormatBool(c.symmetry),
+		"por":      strconv.FormatBool(c.por),
 	}
 }
 
@@ -78,6 +80,7 @@ func configFromMeta(meta map[string]string) (specConfig, error) {
 	}
 	c.nodes, c.maxTerm, c.maxLog, c.actors = atoi("nodes"), atoi("max-term"), atoi("max-log"), atoi("actors")
 	c.symmetry = meta["symmetry"] == "true"
+	c.por = meta["por"] == "true" // absent in pre-POR checkpoints: false
 	return c, err
 }
 
@@ -92,6 +95,7 @@ func main() {
 		liveness  = flag.Bool("liveness", false, "check the commit-point-propagation liveness property (raftmongo)")
 		workers   = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "symmetry reduction over interchangeable identities (raftmongo nodes, locking actors)")
+		por       = flag.Bool("por", false, "ample-set partial-order reduction for specs that declare transition independence (raftmongo, locking); composes with -symmetry, both schedules, -arena and -mem-budget")
 		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
 		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync or level-sync (deterministic BFS, shortest counterexamples), worksteal or work-steal (barrier-free, identical verdicts and counts)")
 		arena     = flag.Bool("arena", false, "retain discovered states as encoded bytes in an append-only arena instead of live values (cuts retention memory; counterexamples and the -dot/-liveness graph are decoded from the arena)")
@@ -108,7 +112,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := specConfig{specName: *specName, nodes: *nodes, maxTerm: *maxTerm, maxLog: *maxLog, actors: *actors, symmetry: *symmetry}
+	cfg := specConfig{specName: *specName, nodes: *nodes, maxTerm: *maxTerm, maxLog: *maxLog, actors: *actors, symmetry: *symmetry, por: *por}
 	if err := run(ctx, cfg, *dotPath, *liveness, *workers, *memBudget, *schedule, *arena, *ckDir, *ckEvery, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "minitlc:", err)
 		os.Exit(1)
@@ -142,11 +146,19 @@ func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, wor
 		arena = true
 		fmt.Fprintln(os.Stderr, "minitlc: note: checkpoint/resume stores states in the encoding arena; -arena enabled")
 	}
+	if cfg.por && liveness {
+		// CheckEventuallyWithin walks the recorded graph; POR records only
+		// the reduced edge set, which under-approximates reachability from
+		// intermediate states and can produce bogus liveness verdicts.
+		cfg.por = false
+		fmt.Fprintln(os.Stderr, "minitlc: note: -liveness needs the full state graph; -por disabled for this run")
+	}
 	opts := tla.Options{
 		RecordGraph:       dotPath != "" || liveness,
 		Workers:           workers,
 		MemoryBudgetBytes: memBudget,
 		Schedule:          sched,
+		PartialOrder:      cfg.por,
 		StateArena:        arena,
 		Context:           ctx,
 		CheckpointDir:     ckDir,
@@ -225,6 +237,12 @@ func check[S tla.State](spec *tla.Spec[S], opts tla.Options) (*tla.Result[S], er
 	}
 	if res != nil && opts.Schedule == tla.ScheduleWorkSteal && res.Schedule != tla.ScheduleWorkSteal {
 		fmt.Fprintf(os.Stderr, "minitlc: warning: -schedule worksteal was downgraded to %s (bounded depth, memory budgets, store plugs, and checkpoint/resume are level-synchronized)\n", res.Schedule)
+	}
+	if res != nil && opts.PartialOrder && !res.PartialOrder {
+		fmt.Fprintln(os.Stderr, "minitlc: note: -por requested but this spec declares no transition independence; the run was unpruned")
+	}
+	if res != nil && res.PartialOrder {
+		fmt.Printf("partial-order reduction: %d ample states, %d transitions deferred\n", res.AmpleStates, res.DeferredTransitions)
 	}
 	if err != nil {
 		switch {

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	rollback-fuzzer [-steps 8400] [-seed 7] [-nodes 3] [-out dir] [-flawed] [-sync-before-writes] \
-//	                [-check] [-spec v2] [-workers N] [-symmetry] [-mem-budget BYTES] [-schedule MODE]
+//	                [-check] [-spec v2] [-workers N] [-symmetry] [-por] [-mem-budget BYTES] [-schedule MODE] [-arena]
 package main
 
 import (
@@ -45,21 +45,23 @@ func main() {
 		specVar   = flag.String("spec", "v2", "specification variant for -check: v1 (global term) or v2 (gossiped terms)")
 		workers   = flag.Int("workers", 0, "trace-checker worker goroutines for -check (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "declare node ids interchangeable on the specification (note: trace checking ignores symmetry)")
+		por       = flag.Bool("por", false, "ample-set partial-order reduction (accepted for CLI uniformity; trace checking must keep every state consistent with the trace prefix)")
 		memBudget = flag.Int64("mem-budget", 0, "visited-set spill budget (accepted for CLI uniformity; trace checking keeps its frontier resident)")
 		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync/level-sync or worksteal/work-steal (accepted for CLI uniformity; trace checking advances one observation at a time)")
+		arena     = flag.Bool("arena", false, "encoded-state retention arena (accepted for CLI uniformity; trace checking retains only the live frontier)")
 	)
 	flag.Parse()
 	// First signal stops the trace checker cooperatively (the fuzzer run
 	// itself is short); a second one kills the process normally.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *steps, *seed, *nodes, *outDir, *flawed, *syncFirst, *check, *specVar, *workers, *symmetry, *memBudget, *schedule); err != nil {
+	if err := run(ctx, *steps, *seed, *nodes, *outDir, *flawed, *syncFirst, *check, *specVar, *workers, *symmetry, *por, *memBudget, *schedule, *arena); err != nil {
 		fmt.Fprintln(os.Stderr, "rollback-fuzzer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, steps int, seed int64, nodes int, outDir string, flawed, syncFirst, check bool, specVar string, workers int, symmetry bool, memBudget int64, schedule string) error {
+func run(ctx context.Context, steps int, seed int64, nodes int, outDir string, flawed, syncFirst, check bool, specVar string, workers int, symmetry, por bool, memBudget int64, schedule string, arena bool) error {
 	topts := tla.TraceOptions{Workers: workers, Context: ctx}
 	if err := topts.Validate(); err != nil {
 		return err
@@ -75,8 +77,18 @@ func run(ctx context.Context, steps int, seed int64, nodes int, outDir string, f
 		// so symmetric-but-distinct frontier states must stay distinct.
 		fmt.Fprintln(os.Stderr, "rollback-fuzzer: note: trace checking ignores symmetry (observations name concrete nodes)")
 	}
+	if por {
+		// Accepted for CLI uniformity with minitlc: pruning successors
+		// would discard frontier states the next observation might need.
+		fmt.Fprintln(os.Stderr, "rollback-fuzzer: note: trace checking explores only trace-consistent states; -por applies to full exploration (minitlc) only")
+	}
 	if memBudget != 0 {
 		fmt.Fprintln(os.Stderr, "rollback-fuzzer: note: trace checking keeps its frontier in memory; -mem-budget has no effect")
+	}
+	if arena {
+		// Accepted for CLI uniformity with minitlc/mbtcg: the frontier
+		// method retains only the live frontier plus its explanation spine.
+		fmt.Fprintln(os.Stderr, "rollback-fuzzer: note: trace checking retains only the live frontier; -arena has no effect")
 	}
 	cfg := replset.Config{
 		Nodes:                   nodes,

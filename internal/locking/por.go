@@ -1,0 +1,63 @@
+package locking
+
+import "repro/internal/tla"
+
+// Independence is the locking spec's partial-order-reduction declaration
+// (tla.Spec.Independence): one process per actor, owning the transitions
+// that change that actor's holdings.
+//
+// Only Release transitions are deferrable (SafeAction). Releasing a's
+// deepest lock writes Held[a] alone and reads nothing else; for every
+// other actor it only *relaxes* the compatibility matrix, so no deferred
+// transition is ever disabled by an ample release, and a deferred
+// acquire's grant — decided by the acquirer's own row and the matrix —
+// produces the same row for its owner whenever it finally runs. Acquires
+// are the opposite: an acquire can disable other actors' acquires (an X
+// grant blocks everything below it in the matrix), so exploring one
+// acquire ahead of its siblings would not commute. They stay fully
+// interleaved.
+//
+// The declaration is config-gated: a spec built with
+// OmitCompatibilityCheck must not declare independence at all. Its known
+// Compatibility violation (the golden-file counterexample) lives on a
+// joint state — two actors holding incompatible modes at once — that
+// release-pruning can skip: defer actor b's incompatible acquire past
+// actor a's ample release and the violating combination never
+// materializes. Returning nil keeps Options.PartialOrder a warned no-op
+// for that config (Result.PartialOrder reports false), preserving the
+// golden verdict bit-for-bit.
+//
+// Both hooks are permutation-equivariant (rows are compared pointwise and
+// the action filter is position-independent), so the declaration composes
+// with SpecConfig.Symmetric.
+//
+// Expect the actual cut to be ~zero: a release steps down the holdings
+// lattice to a state the acquire path already visited at a shallower BFS
+// level, so the cycle proviso's fresh-successor witness never exists and
+// the engine declines every ample set. The declaration still earns its
+// keep — it exercises the sound no-win path (never exploring more states
+// than the unpruned run; see TestPORReduction) and documents, next to
+// raftmongo's 3x+ cut, that BFS ample sets pay off on forward-fresh
+// independent moves, not confluent down-moves.
+func Independence(cfg SpecConfig) *tla.Independence[SpecState] {
+	if cfg.OmitCompatibilityCheck {
+		return nil
+	}
+	return &tla.Independence[SpecState]{
+		Procs: func(s SpecState) int { return len(s.Held) },
+		Owner: func(s, succ SpecState, act int) int {
+			owner := -1
+			for a := range s.Held {
+				if s.Held[a] != succ.Held[a] {
+					if owner != -1 {
+						return -1 // a transition never writes two actors' rows
+					}
+					owner = a
+				}
+			}
+			return owner
+		},
+		// Action order in Spec: 0 = Acquire, 1 = Release.
+		SafeAction: func(act int) bool { return act == 1 },
+	}
+}

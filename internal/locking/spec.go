@@ -146,6 +146,7 @@ func Spec(cfg SpecConfig) *tla.Spec[SpecState] {
 	return &tla.Spec[SpecState]{
 		Name:            "Locking",
 		SymmetryVisitor: sym,
+		Independence:    Independence(cfg),
 		Init: func() []SpecState {
 			held := make([][3]int8, cfg.Actors)
 			for i := range held {

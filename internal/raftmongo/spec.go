@@ -27,6 +27,7 @@ func SpecV1(cfg Config) *tla.Spec[State] {
 		},
 		Constraint:      cfg.constraint,
 		SymmetryVisitor: cfg.symmetry(),
+		Independence:    Independence(),
 	}
 }
 
@@ -57,6 +58,7 @@ func SpecV2(cfg Config) *tla.Spec[State] {
 		},
 		Constraint:      cfg.constraint,
 		SymmetryVisitor: cfg.symmetry(),
+		Independence:    Independence(),
 	}
 }
 

@@ -147,9 +147,11 @@ func specFingerprint[S State](spec *Spec[S]) uint64 {
 // optionsFingerprint hashes the options that change what a run explores or
 // how states are encoded; worker counts, schedules and budgets may differ
 // between the checkpointing and the resuming run without affecting the
-// result, so they are deliberately not hashed.
+// result, so they are deliberately not hashed. PartialOrder is: a pruned
+// run's frontier and visited set describe the reduced space, and resuming
+// them unpruned (or vice versa) would silently explore neither space.
 func optionsFingerprint(o Options) uint64 {
-	return fnv1a64([]byte(fmt.Sprintf("maxstates=%d;maxdepth=%d;forcekey=%t", o.MaxStates, o.MaxDepth, o.ForceKeyEncoding)))
+	return fnv1a64([]byte(fmt.Sprintf("maxstates=%d;maxdepth=%d;forcekey=%t;por=%t", o.MaxStates, o.MaxDepth, o.ForceKeyEncoding, o.PartialOrder)))
 }
 
 // writeCheckpoint seals the run's state at a level boundary into ck's

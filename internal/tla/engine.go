@@ -45,6 +45,13 @@ type candidate[S State] struct {
 type chunkOut[S State] struct {
 	cands    []candidate[S]
 	perState []int // successor count per frontier state of the chunk
+	// ample is only appended under partial-order reduction: per frontier
+	// state, the number of ample candidates at the head of its candidate
+	// block (the expansion worker emits the chosen process's transitions
+	// first, then the deferred remainder), or -1 when the state is not
+	// prunable. The merge makes the final keep-or-expand call against the
+	// cycle proviso.
+	ample []int
 }
 
 // resolveWorkers maps Options.Workers to an effective worker count:
@@ -147,6 +154,19 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	}
 	ret := newRetainer(spec, opts)
 
+	// Partial-order reduction resolves here: the run must ask and the spec
+	// must declare. Result.PartialOrder reports the resolution so CLIs can
+	// warn about a request that had nothing to act on.
+	ind := activeIndependence(spec, opts)
+	res.PartialOrder = ind != nil
+	var porScr []porScratch[S]
+	if ind != nil {
+		porScr = make([]porScratch[S], workers)
+		for i := range porScr {
+			porScr[i].planner = newPORPlanner(ind)
+		}
+	}
+
 	// A checkpointed graph must be arena-backed: live graph columns are not
 	// persisted, so a resumed run could never rebuild them without a
 	// decoder. Validate cannot see S, so the check lives here.
@@ -234,6 +254,14 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 
 	var arenaEnc []byte // addState's plain-encoding scratch (arena mode)
 
+	// levelBase/levelCut support the POR cycle proviso: levelBase is the id
+	// watermark when the current level's merge began, and levelCut[id -
+	// levelBase] marks the states discovered this merge that were NOT
+	// enqueued (constraint-cut) — they will never be expanded, so an ample
+	// edge into one cannot serve as the proviso's not-yet-expanded witness.
+	levelBase := 0
+	var levelCut []bool
+
 	// addState installs a newly discovered state (entry.ID must be -1):
 	// id assignment, retention (live values, or arena encodings under
 	// Options.StateArena), depth and graph bookkeeping, invariant checks,
@@ -282,9 +310,13 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		if !withinConstraint {
 			res.ConstraintCuts++
 		}
-		if withinConstraint && (opts.MaxDepth == 0 || depth < opts.MaxDepth) {
+		pushed := withinConstraint && (opts.MaxDepth == 0 || depth < opts.MaxDepth)
+		if pushed {
 			ret.retainLive(id, s)
 			fr.Push(id)
+		}
+		if ind != nil {
+			levelCut = append(levelCut, !pushed)
 		}
 		return nil, nil
 	}
@@ -363,7 +395,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 			}
 			res.CheckpointPath = path
 		}
-		outs := expandFrontier(spec, wcods, ret, frontier, vs, &pool, &ctl)
+		outs := expandFrontier(spec, wcods, ret, frontier, vs, &pool, &ctl, porScr)
 		if pi := ctl.takePanic(); pi != nil {
 			return res, specPanicError(spec, cod, ret, pi)
 		}
@@ -376,47 +408,101 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 			return res, err
 		}
 
-		// Merge phase: replay candidates in deterministic order.
+		// Merge phase: replay candidates in deterministic order. doCand is
+		// one candidate's full treatment — counters, id assignment,
+		// invariants, edge recording.
+		doCand := func(c candidate[S], id, depth int) (*Violation[S], error) {
+			res.Transitions++
+			var viol *Violation[S]
+			sid := c.entry.ID
+			if sid < 0 {
+				var aerr error
+				viol, aerr = addState(c.succ, c.entry, id, c.act, depth+1)
+				if aerr != nil {
+					return nil, aerr
+				}
+				sid = c.entry.ID
+			}
+			if res.Graph != nil {
+				if arenaGraph {
+					if aerr := ret.addEdge(id, c.act, sid); aerr != nil {
+						return nil, aerr
+					}
+				} else {
+					res.Graph.Edges = append(res.Graph.Edges, Edge{From: id, Action: c.act, To: sid})
+				}
+			}
+			return viol, nil
+		}
+		levelBase = ret.len()
+		levelCut = levelCut[:0]
 		fi := 0 // index into frontier, across chunk boundaries
 		for oi := range outs {
 			out := &outs[oi]
 			ci := 0
-			for _, n := range out.perState {
+			for si, n := range out.perState {
 				id := frontier[fi]
 				fi++
 				if n == 0 {
+					// Terminal counting sees the full successor set — POR
+					// prunes expansion, never the terminal verdict.
 					res.Terminal++
 					continue
 				}
 				depth := ret.depthOf(id)
-				for j := 0; j < n; j++ {
-					c := out.cands[ci]
-					ci++
-					res.Transitions++
-					var viol *Violation[S]
-					sid := c.entry.ID
-					if sid < 0 {
-						var aerr error
-						viol, aerr = addState(c.succ, c.entry, id, c.act, depth+1)
-						if aerr != nil {
-							return res, aerr
-						}
-						sid = c.entry.ID
-					}
-					if res.Graph != nil {
-						if arenaGraph {
-							if aerr := ret.addEdge(id, c.act, sid); aerr != nil {
-								return res, aerr
-							}
-						} else {
-							res.Graph.Edges = append(res.Graph.Edges, Edge{From: id, Action: c.act, To: sid})
-						}
+				k, pruned := n, false
+				if ind != nil && out.ample[si] >= 0 {
+					k, pruned = out.ample[si], true
+				}
+				// Cycle proviso (C3), decided here where discovery order is
+				// total. This is the BFS queue proviso: the ample set is
+				// kept only if at least one ample successor was first
+				// discovered during this very merge (id at or past
+				// levelBase) and survived the constraint (not levelCut) —
+				// i.e. it joins the next level's frontier and expands
+				// strictly after this state. That witness is enough: a
+				// transition deferred here stays enabled at the witness
+				// (the declaration's non-disabling obligation), where it is
+				// either explored or deferred again to a witness expanding
+				// later still. Expansion levels strictly increase along the
+				// witness chain, so in a finite graph the chain terminates
+				// at a fully expanded state and nothing is ignored forever.
+				// A back- or same-level ample successor (closing a cycle)
+				// is harmless as long as some other successor is the
+				// witness; if none is — every ample successor already
+				// expanded, is expanding, or was cut — the pruning is
+				// abandoned and the state fully expanded.
+				ampleOK := false
+				for j := 0; j < k; j++ {
+					c := out.cands[ci+j]
+					viol, aerr := doCand(c, id, depth)
+					if aerr != nil {
+						return res, aerr
 					}
 					if viol != nil {
 						res.Violation = viol
 						return res, viol
 					}
+					if sid := c.entry.ID; pruned && sid >= levelBase && !levelCut[sid-levelBase] {
+						ampleOK = true
+					}
 				}
+				if pruned && ampleOK {
+					res.AmpleStates++
+					res.DeferredTransitions += n - k
+				} else {
+					for j := k; j < n; j++ {
+						viol, aerr := doCand(out.cands[ci+j], id, depth)
+						if aerr != nil {
+							return res, aerr
+						}
+						if viol != nil {
+							res.Violation = viol
+							return res, viol
+						}
+					}
+				}
+				ci += n
 			}
 		}
 		pool.free(outs)
@@ -437,6 +523,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 type chunkPool[S State] struct {
 	cands    [][]candidate[S]
 	perState [][]int
+	ample    [][]int
 }
 
 // seed pre-assigns recycled buffers to the level's chunk outputs.
@@ -449,6 +536,10 @@ func (p *chunkPool[S]) seed(outs []chunkOut[S]) {
 		if n := len(p.perState); n > 0 {
 			outs[i].perState = p.perState[n-1]
 			p.perState = p.perState[:n-1]
+		}
+		if n := len(p.ample); n > 0 {
+			outs[i].ample = p.ample[n-1]
+			p.ample = p.ample[:n-1]
 		}
 	}
 }
@@ -466,6 +557,9 @@ func (p *chunkPool[S]) free(outs []chunkOut[S]) {
 		}
 		if outs[i].perState != nil {
 			p.perState = append(p.perState, outs[i].perState[:0])
+		}
+		if outs[i].ample != nil {
+			p.ample = append(p.ample, outs[i].ample[:0])
 		}
 	}
 }
@@ -491,7 +585,16 @@ func (p *chunkPool[S]) free(outs []chunkOut[S]) {
 // armed and disarmed with plain field writes, so the isolation costs the
 // hot path no allocations. The same between-states poll is the expansion
 // phase's cancellation point.
-func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S], frontier []int, vs VisitedStore, pool *chunkPool[S], ctl *runControl) []chunkOut[S] {
+//
+// Under partial-order reduction (porScr non-nil, one scratch per worker)
+// the full successor set of a state is buffered first, the ample process is
+// chosen, and the candidates are emitted ample-first with the split
+// recorded in out.ample. Workers only propose; the merge phase, which is
+// the one place discovery order exists, decides whether the ample set
+// satisfies the cycle proviso and whether the deferred remainder is
+// processed or skipped — so POR results stay deterministic across worker
+// counts just like everything else on this path.
+func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S], frontier []int, vs VisitedStore, pool *chunkPool[S], ctl *runControl, porScr []porScratch[S]) []chunkOut[S] {
 	plan := planChunks(len(frontier), len(wcods))
 	outs := make([]chunkOut[S], plan.nChunks)
 	pool.seed(outs)
@@ -504,31 +607,112 @@ func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S],
 		}()
 		wcod := wcods[w]
 		out := outs[c] // recycled buffers (or nil), length 0
+		emit := func(succ S, act string, id int) {
+			g.enter(opEncode, act, id)
+			cenc := wcod.canonical(succ)
+			g.exit()
+			e := vs.Claim(cenc)
+			if e.ID >= 0 {
+				out.cands = append(out.cands, candidate[S]{act: act, entry: e})
+			} else {
+				out.cands = append(out.cands, candidate[S]{succ: succ, act: act, entry: e})
+			}
+		}
 		for _, id := range frontier[lo:hi] {
 			if ctl.stop.Load() {
 				break
 			}
 			s := ret.stateOf(id)
 			before := len(out.cands)
-			for _, a := range spec.Actions {
+			if porScr == nil {
+				for _, a := range spec.Actions {
+					g.enter(opNext, a.Name, id)
+					succs := a.Next(s)
+					g.exit()
+					for _, succ := range succs {
+						emit(succ, a.Name, id)
+					}
+				}
+				out.perState = append(out.perState, len(out.cands)-before)
+				continue
+			}
+			// POR path: generate everything first — terminal detection and
+			// C0 need the full set, and the owner partition needs to see
+			// every transition before any is emitted — then claim
+			// everything, so the planner knows which successors are fresh
+			// (no id yet). A fresh claim can only be resolved by this
+			// level's merge, making it a certain cycle-proviso witness
+			// unless the constraint cuts it; a stale one (id from an
+			// earlier merge) can never be. Choosing on freshness is what
+			// lets confluent specs prune: without it the planner keeps
+			// electing clusters whose successors were visited levels ago
+			// and the merge rejects nearly every ample set.
+			sc := &porScr[w]
+			sc.succs = sc.succs[:0]
+			sc.acts = sc.acts[:0]
+			sc.entries = sc.entries[:0]
+			sc.fresh = sc.fresh[:0]
+			for ai, a := range spec.Actions {
 				g.enter(opNext, a.Name, id)
 				succs := a.Next(s)
 				g.exit()
 				for _, succ := range succs {
-					g.enter(opEncode, a.Name, id)
-					cenc := wcod.canonical(succ)
-					g.exit()
-					e := vs.Claim(cenc)
-					if e.ID >= 0 {
-						out.cands = append(out.cands, candidate[S]{act: a.Name, entry: e})
-					} else {
-						out.cands = append(out.cands, candidate[S]{succ: succ, act: a.Name, entry: e})
+					sc.succs = append(sc.succs, succ)
+					sc.acts = append(sc.acts, ai)
+				}
+			}
+			for t := range sc.succs {
+				g.enter(opEncode, spec.Actions[sc.acts[t]].Name, id)
+				cenc := wcod.canonical(sc.succs[t])
+				g.exit()
+				e := vs.Claim(cenc)
+				sc.entries = append(sc.entries, e)
+				sc.fresh = append(sc.fresh, e.ID < 0)
+			}
+			emitAt := func(t int) {
+				e := sc.entries[t]
+				act := spec.Actions[sc.acts[t]].Name
+				if e.ID >= 0 {
+					out.cands = append(out.cands, candidate[S]{act: act, entry: e})
+				} else {
+					out.cands = append(out.cands, candidate[S]{succ: sc.succs[t], act: act, entry: e})
+				}
+			}
+			k := -1
+			if proc := sc.planner.choose(s, sc.succs, sc.acts, sc.fresh, &g); proc >= 0 {
+				k = 0
+				for t := range sc.succs {
+					if sc.planner.owners[t] == proc {
+						emitAt(t)
+						k++
 					}
+				}
+				for t := range sc.succs {
+					if sc.planner.owners[t] != proc {
+						emitAt(t)
+					}
+				}
+			} else {
+				for t := range sc.succs {
+					emitAt(t)
 				}
 			}
 			out.perState = append(out.perState, len(out.cands)-before)
+			out.ample = append(out.ample, k)
 		}
 		outs[c] = out
 	})
 	return outs
+}
+
+// porScratch is one expansion worker's partial-order-reduction state: the
+// ample planner plus the full-successor buffer the owner partition is
+// computed over. Like the codec clones, scratch persists across levels and
+// is keyed by worker index.
+type porScratch[S State] struct {
+	planner *porPlanner[S]
+	succs   []S
+	acts    []int
+	entries []*VisitedEntry // level-sync only: pre-choice claims
+	fresh   []bool          // per successor: claimed with no id yet
 }

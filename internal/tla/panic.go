@@ -59,7 +59,8 @@ const (
 	opNext
 	opInvariant
 	opConstraint
-	opEncode // Key / AppendBinary / SymmetryVisitor during canonicalization
+	opEncode       // Key / AppendBinary / SymmetryVisitor during canonicalization
+	opIndependence // Independence.Procs / Owner / Safe during ample selection
 )
 
 func opString(kind specOp, name string) string {
@@ -74,6 +75,8 @@ func opString(kind specOp, name string) string {
 		return "Constraint"
 	case opEncode:
 		return "state encoding (Key/AppendBinary/SymmetryVisitor)"
+	case opIndependence:
+		return "independence declaration (Procs/Owner/Safe)"
 	}
 	return "spec callback"
 }

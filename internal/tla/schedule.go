@@ -221,6 +221,26 @@ func (vs *wsVisited) claim(enc []byte, alloc func() int) (id int, isNew bool) {
 	return id, id >= 0
 }
 
+// probe reports whether enc is already claimed, without claiming it. The
+// answer can go stale the moment the shard unlocks — the POR path uses it
+// only as a freshness prediction for the ample choice (a successor no one
+// has claimed yet will, once registered, almost certainly be the queued
+// witness the cycle proviso needs); the porStatus snapshot at decision
+// time remains the enforcement.
+func (vs *wsVisited) probe(enc []byte) bool {
+	fp := fingerprint(enc)
+	sh := &vs.shards[fp&(visitedShards-1)]
+	sh.mu.Lock()
+	var ok bool
+	if vs.collisionFree {
+		_, ok = sh.byKey[string(enc)]
+	} else {
+		_, ok = sh.byFP[fp]
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
 // wsEngine is the shared state of one work-stealing run.
 type wsEngine[S State] struct {
 	spec *Spec[S]
@@ -230,9 +250,18 @@ type wsEngine[S State] struct {
 
 	// mu guards registration: the retainer (id assignment, arena append,
 	// live window), the recorded graph's state columns (or arena edges),
-	// and the first failure. Duplicate claims never take it.
+	// the started flags, and the first failure. Duplicate claims never
+	// take it.
 	mu  sync.Mutex
 	ret *retainer[S]
+	// porStatus[id] is state id's expansion status, grown in alloc (ids
+	// are dense) and maintained only under POR. The queue proviso reads it
+	// at ample-decision time: only a successor that is definitely queued
+	// and not yet expanding (porQueued) can serve as the will-expand-later
+	// witness — a state still mid-registration (constraint verdict
+	// pending on another worker), constraint-cut, or already expanding
+	// cannot.
+	porStatus []uint8
 	// arenaGraph marks that the recorded graph is arena-backed (RecordGraph
 	// + StateArena + a bound decoder): alloc skips the live state columns
 	// and expand records edges into the arena under mu.
@@ -291,7 +320,14 @@ type wsWorker[S State] struct {
 	regDepth  int
 	arenaBuf  []byte // alloc's plain-encoding scratch (arena mode)
 
+	// por, when non-nil, is this worker's partial-order-reduction scratch;
+	// ampleIDs collects the current state's registered ample successor ids
+	// for the cycle-proviso check.
+	por      *porScratch[S]
+	ampleIDs []int
+
 	transitions, terminal, cuts int
+	ampleStates, deferred       int
 	maxDepth                    int
 	edges                       []Edge
 }
@@ -324,6 +360,9 @@ func (w *wsWorker[S]) alloc() int {
 		e.failLocked(err)
 		return -1
 	}
+	if w.por != nil {
+		e.porStatus = append(e.porStatus, porRegistering) // len tracks ret.len()
+	}
 	// Retain optimistically: almost every state is expanded. A constraint
 	// or stop releases it right after registration.
 	e.ret.retainLive(id, w.regS)
@@ -336,8 +375,10 @@ func (w *wsWorker[S]) alloc() int {
 
 // register claims one successor (or initial state): deduplication, and for
 // first sights the invariant checks, constraint, and enqueue. Returns the
-// state's id, or -1 when the run is stopping.
-func (w *wsWorker[S]) register(s S, parent int, act string, depth int) int {
+// state's id (or -1 when the run is stopping) and whether this call was the
+// first sight — the claim's insert verdict, which the POR path uses as its
+// race-safe NEW-at-decision-time signal for the cycle proviso.
+func (w *wsWorker[S]) register(s S, parent int, act string, depth int) (int, bool) {
 	e := w.e
 	w.pg.enter(opEncode, act, parent)
 	w.regS, w.regEnc = s, w.cod.canonical(s)
@@ -345,10 +386,10 @@ func (w *wsWorker[S]) register(s S, parent int, act string, depth int) int {
 	w.regParent, w.regAct, w.regDepth = parent, act, depth
 	id, isNew := e.vs.claim(w.regEnc, w.allocFn)
 	if id < 0 {
-		return -1
+		return -1, false
 	}
 	if !isNew {
-		return id
+		return id, false
 	}
 	if depth > w.maxDepth {
 		w.maxDepth = depth
@@ -364,7 +405,7 @@ func (w *wsWorker[S]) register(s S, parent int, act string, depth int) int {
 			}
 			e.stop.Store(true)
 			e.mu.Unlock()
-			return id
+			return id, true
 		}
 	}
 	w.pg.enter(opConstraint, "", id)
@@ -374,20 +415,73 @@ func (w *wsWorker[S]) register(s S, parent int, act string, depth int) int {
 		w.cuts++
 		e.mu.Lock()
 		e.ret.release(id)
+		if w.por != nil {
+			e.porStatus[id] = porDone // never expanded; cannot excuse the proviso
+		}
 		e.mu.Unlock()
-		return id
+		return id, true
+	}
+	if w.por != nil {
+		e.mu.Lock()
+		e.porStatus[id] = porQueued
+		e.mu.Unlock()
 	}
 	e.pending.Add(1)
 	w.deque.push(wsItem{id: id, depth: depth})
-	return id
+	return id, true
 }
 
-// expand pops one state's live value and registers every successor.
+// POR expansion statuses for wsEngine.porStatus.
+const (
+	porRegistering uint8 = iota // alloc done, constraint verdict pending
+	porQueued                   // on a deque, expansion not yet started
+	porDone                     // expanding, expanded, or constraint-cut
+)
+
+// doSucc registers transition t of the worker's POR buffer (or, with the
+// plain path inlined in expand, one successor) and records its edge. It
+// returns false when the run is stopping and the expansion should abandon
+// the state.
+func (w *wsWorker[S]) doSucc(it wsItem, succ S, act string) (int, bool, bool) {
+	e := w.e
+	w.transitions++
+	sid, isNew := w.register(succ, it.id, act, it.depth+1)
+	if sid < 0 || e.stop.Load() {
+		return sid, isNew, false
+	}
+	if e.res.Graph != nil {
+		if e.arenaGraph {
+			e.mu.Lock()
+			aerr := e.ret.addEdge(it.id, act, sid)
+			if aerr != nil {
+				e.failLocked(aerr)
+			}
+			e.mu.Unlock()
+			if aerr != nil {
+				return sid, isNew, false
+			}
+		} else {
+			w.edges = append(w.edges, Edge{From: it.id, Action: act, To: sid})
+		}
+	}
+	return sid, isNew, true
+}
+
+// expand pops one state's live value and registers every successor —
+// or, under partial-order reduction, just the ample subset when the cycle
+// proviso holds (see expandPOR).
 func (w *wsWorker[S]) expand(it wsItem) {
 	e := w.e
 	e.mu.Lock()
 	s := e.ret.stateOf(it.id)
+	if w.por != nil {
+		e.porStatus[it.id] = porDone
+	}
 	e.mu.Unlock()
+	if w.por != nil {
+		w.expandPOR(it, s)
+		return
+	}
 	succs := 0
 	for _, a := range e.spec.Actions {
 		w.pg.enter(opNext, a.Name, it.id)
@@ -395,30 +489,110 @@ func (w *wsWorker[S]) expand(it wsItem) {
 		w.pg.exit()
 		for _, succ := range nexts {
 			succs++
-			w.transitions++
-			sid := w.register(succ, it.id, a.Name, it.depth+1)
-			if sid < 0 || e.stop.Load() {
+			if _, _, ok := w.doSucc(it, succ, a.Name); !ok {
 				return
-			}
-			if e.res.Graph != nil {
-				if e.arenaGraph {
-					e.mu.Lock()
-					aerr := e.ret.addEdge(it.id, a.Name, sid)
-					if aerr != nil {
-						e.failLocked(aerr)
-					}
-					e.mu.Unlock()
-					if aerr != nil {
-						return
-					}
-				} else {
-					w.edges = append(w.edges, Edge{From: it.id, Action: a.Name, To: sid})
-				}
 			}
 		}
 	}
 	if succs == 0 {
 		w.terminal++
+	}
+	e.mu.Lock()
+	e.ret.release(it.id)
+	e.mu.Unlock()
+}
+
+// expandPOR is expand under partial-order reduction. The full successor
+// set is generated first (terminal counting and the owner partition need
+// it), the ample process chosen, and its transitions registered; the
+// deferred remainder is skipped only if, at decision time, at least one
+// ample successor is queued and not yet expanding (the queue proviso,
+// checked in one consistent snapshot under the engine lock). That
+// witness starts expanding strictly after this decision, which is the
+// ordering the soundness argument needs: a transition deferred here
+// stays enabled at the witness (the declaration's non-disabling
+// obligation), where it is either explored or deferred again to a
+// witness whose expansion starts later still — a strictly increasing
+// chain that must terminate at a fully expanded state. Successors whose
+// constraint verdict is pending on another worker (porRegistering) or
+// whose expansion already started (porDone) — including this state
+// itself on a self-loop — cannot be the witness; if no successor
+// qualifies, the state is fully expanded.
+func (w *wsWorker[S]) expandPOR(it wsItem, s S) {
+	e := w.e
+	sc := w.por
+	sc.succs, sc.acts = sc.succs[:0], sc.acts[:0]
+	for ai, a := range e.spec.Actions {
+		w.pg.enter(opNext, a.Name, it.id)
+		nexts := a.Next(s)
+		w.pg.exit()
+		for _, succ := range nexts {
+			sc.succs = append(sc.succs, succ)
+			sc.acts = append(sc.acts, ai)
+		}
+	}
+	total := len(sc.succs)
+	if total == 0 {
+		w.terminal++
+		e.mu.Lock()
+		e.ret.release(it.id)
+		e.mu.Unlock()
+		return
+	}
+	// Freshness prediction for the ample choice: probe each successor
+	// without claiming it. A cluster whose successors are all already
+	// claimed is near-certain to fail the queue proviso below, so choose
+	// skips it; the extra canonical encoding per successor is cheap next
+	// to the expansions the pruning saves. The prediction may go stale
+	// between probe and register — the porStatus snapshot still decides.
+	sc.fresh = sc.fresh[:0]
+	for t := range sc.succs {
+		w.pg.enter(opEncode, e.spec.Actions[sc.acts[t]].Name, it.id)
+		cenc := w.cod.canonical(sc.succs[t])
+		w.pg.exit()
+		sc.fresh = append(sc.fresh, !e.vs.probe(cenc))
+	}
+	proc := sc.planner.choose(s, sc.succs, sc.acts, sc.fresh, &w.pg)
+	if proc >= 0 {
+		w.ampleIDs = w.ampleIDs[:0]
+		for t := 0; t < total; t++ {
+			if sc.planner.owners[t] != proc {
+				continue
+			}
+			sid, _, ok := w.doSucc(it, sc.succs[t], e.spec.Actions[sc.acts[t]].Name)
+			if !ok {
+				return
+			}
+			w.ampleIDs = append(w.ampleIDs, sid)
+		}
+		ampleOK := false
+		e.mu.Lock()
+		for _, sid := range w.ampleIDs {
+			if e.porStatus[sid] == porQueued {
+				ampleOK = true
+				break
+			}
+		}
+		e.mu.Unlock()
+		if ampleOK {
+			w.ampleStates++
+			w.deferred += total - len(w.ampleIDs)
+		} else {
+			for t := 0; t < total; t++ {
+				if sc.planner.owners[t] == proc {
+					continue
+				}
+				if _, _, ok := w.doSucc(it, sc.succs[t], e.spec.Actions[sc.acts[t]].Name); !ok {
+					return
+				}
+			}
+		}
+	} else {
+		for t := 0; t < total; t++ {
+			if _, _, ok := w.doSucc(it, sc.succs[t], e.spec.Actions[sc.acts[t]].Name); !ok {
+				return
+			}
+		}
 	}
 	e.mu.Lock()
 	e.ret.release(it.id)
@@ -510,6 +684,8 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (res *Resul
 			res.Graph = nil
 		}
 	}()
+	ind := activeIndependence(spec, opts)
+	res.PartialOrder = ind != nil
 	ws := make([]*wsWorker[S], workers)
 	for i := range ws {
 		wcod := cod
@@ -518,6 +694,9 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (res *Resul
 		}
 		ws[i] = &wsWorker[S]{e: e, idx: i, cod: wcod, deque: &e.deques[i]}
 		ws[i].allocFn = ws[i].alloc
+		if ind != nil {
+			ws[i].por = &porScratch[S]{planner: newPORPlanner(ind)}
+		}
 	}
 
 	// Cancellation: the stopper arms the same stop flag every worker polls
@@ -546,7 +725,7 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (res *Resul
 			cod.bindDecoder(inits[0])
 		}
 		for _, s := range inits {
-			id := ws[0].register(s, -1, "", 0)
+			id, _ := ws[0].register(s, -1, "", 0)
 			if res.Graph != nil && id >= 0 {
 				res.Graph.Inits = append(res.Graph.Inits, id)
 			}
@@ -580,6 +759,8 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (res *Resul
 		res.Transitions += w.transitions
 		res.Terminal += w.terminal
 		res.ConstraintCuts += w.cuts
+		res.AmpleStates += w.ampleStates
+		res.DeferredTransitions += w.deferred
 		if w.maxDepth > res.Depth {
 			res.Depth = w.maxDepth
 		}

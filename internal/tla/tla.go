@@ -96,6 +96,15 @@ type Spec[S State] struct {
 	// Transitions, Terminal, Depth and the recorded Graph all describe the
 	// quotient space — smaller than the full one by construction.
 	SymmetryVisitor func() OrbitVisitor[S]
+	// Independence, when non-nil, is the spec's partial-order-reduction
+	// declaration: which transitions belong to which process and which of
+	// them may be deferred (see Independence). It only takes effect when a
+	// run asks for it with Options.PartialOrder; like SymmetryVisitor it
+	// lives here because independence is a property of the model, not of
+	// one checking run. Composes with symmetry reduction — the declaration
+	// must then be permutation-equivariant (permuting identities permutes
+	// process indices but never changes owners' existence or safety).
+	Independence *Independence[S]
 }
 
 // Edge is one transition of the recorded state graph, identifying source and
@@ -270,6 +279,20 @@ type Options struct {
 	// spec, the arena also backs the state graph (see Graph); without a
 	// decoder the graph falls back to live retention of its states.
 	StateArena bool
+	// PartialOrder enables ample-set partial-order reduction (-por on the
+	// CLIs) for specs that declare Independence: per expanded state the
+	// engine explores only one eligible process's transitions when the
+	// soundness conditions hold, deferring the rest (see por.go for the
+	// conditions and exactly what is preserved). On a spec without a
+	// declaration the flag is a no-op — Result.PartialOrder reports
+	// whether pruning was actually active. Composes with SymmetryVisitor,
+	// both schedules, StateArena and MemoryBudgetBytes; rejected with
+	// MaxDepth (a depth bound cuts deferred interleavings differently
+	// from the unpruned run) and with plugged-in Visited/Frontier stores
+	// (the cycle proviso needs the built-in claim protocol). Liveness
+	// checking needs the full edge set: run CheckEventually* on graphs
+	// recorded without POR.
+	PartialOrder bool
 	// CollisionFree makes the parallel path deduplicate on full canonical
 	// keys instead of 64-bit fingerprints, trading memory and speed for
 	// immunity to fingerprint collisions (TLC's collision-probability
@@ -406,6 +429,10 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: checkpoints persist 64-bit fingerprints; CollisionFree keys the visited set on full encodings, which are not persisted", ErrInvalidOptions)
 	case o.checkpointing() && (o.Visited != nil || o.Frontier != nil):
 		return fmt.Errorf("%w: checkpoint/resume drives the built-in stores; plugged-in Visited/Frontier stores own their lifecycle and cannot be sealed", ErrInvalidOptions)
+	case o.PartialOrder && (o.Visited != nil || o.Frontier != nil):
+		return fmt.Errorf("%w: PartialOrder's cycle proviso needs the built-in claim-then-assign visited protocol; plugged-in Visited/Frontier stores cannot honor it", ErrInvalidOptions)
+	case o.PartialOrder && o.MaxDepth > 0:
+		return fmt.Errorf("%w: PartialOrder changes the depth at which deferred interleavings are explored, so MaxDepth would cut a different state set than the unpruned run; bound with MaxStates instead", ErrInvalidOptions)
 	}
 	return nil
 }
@@ -472,6 +499,18 @@ type Result[S State] struct {
 	// MemoryBudgetBytes, plugged-in stores, checkpointing) — callers that
 	// requested work-stealing should compare and tell the user.
 	Schedule Schedule
+	// PartialOrder reports that ample-set pruning was actually active:
+	// Options.PartialOrder was set AND the spec declared Independence. A
+	// caller that requested POR on a spec without a declaration should
+	// compare and tell the user, like the work-steal downgrade.
+	PartialOrder bool
+	// AmpleStates counts expanded states at which an ample subset was
+	// kept (some successors deferred); DeferredTransitions counts the
+	// transitions those prunes skipped. Together with Distinct they are
+	// the run's reduction evidence: Distinct here ≤ Distinct of the
+	// unpruned run.
+	AmpleStates         int
+	DeferredTransitions int
 }
 
 type stateEntry struct {
