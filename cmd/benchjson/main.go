@@ -1,7 +1,7 @@
 // Command benchjson starts the repository's machine-readable performance
 // trajectory: it runs the reduction and throughput measurements that CI's
 // bench-delta stage watches as Go benchmarks, in-process, and writes them
-// as one JSON file per PR — BENCH_8.json for this one; future PRs append
+// as one JSON file per PR — BENCH_9.json for this one; future PRs append
 // BENCH_<n>.json next to it so the series can be diffed and plotted
 // without parsing `go test -bench` text.
 //
@@ -34,9 +34,16 @@
 // "throughput/<spec>" has no baseline (baseline_states 0, reduction 1)
 // and exists to track raw states/sec.
 //
+// The "checkd/" families measure the checking service end to end through
+// an in-process supervisor and carry two extra fields: "jobs_per_sec"
+// (checkd/jobs-uncached submits distinct runs, checkd/jobs-cached replays
+// one fingerprint against the verdict cache) and "recovery_seconds"
+// (checkd/recovery drains a checkpointing job mid-run and times a fresh
+// supervisor from startup scan to the resumed job's verdict).
+//
 // Usage:
 //
-//	benchjson [-out BENCH_8.json] [-pr 8] [-config small|full]
+//	benchjson [-out BENCH_9.json] [-pr 9] [-config small|full]
 package main
 
 import (
@@ -44,9 +51,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"repro/internal/checkd"
 	"repro/internal/locking"
 	"repro/internal/raftmongo"
 	"repro/internal/tla"
@@ -61,6 +70,10 @@ type benchmark struct {
 	AllocsPerOp    uint64  `json:"allocs_per_op"`
 	BytesPerOp     uint64  `json:"bytes_per_op"`
 	WallSeconds    float64 `json:"wall_seconds"`
+	// The checkd families report service throughput and recovery latency;
+	// zero (omitted) on the engine families.
+	JobsPerSec      float64 `json:"jobs_per_sec,omitempty"`
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
 }
 
 type report struct {
@@ -74,8 +87,8 @@ type report struct {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_8.json", "output path")
-		pr     = flag.Int("pr", 8, "PR number recorded in the report")
+		out    = flag.String("out", "BENCH_9.json", "output path")
+		pr     = flag.Int("pr", 9, "PR number recorded in the report")
 		config = flag.String("config", "small", "state-space size: small (3 nodes, 2 terms, logs of 2) or full (the paper's 3/3/3)")
 	)
 	flag.Parse()
@@ -179,6 +192,16 @@ func run(out string, pr int, config string) error {
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 
+	serviceRows, err := benchCheckd(rcfg)
+	if err != nil {
+		return err
+	}
+	for _, b := range serviceRows {
+		fmt.Printf("%-28s states=%-8d jobs/sec=%-10.1f recovery=%.3fs\n",
+			b.Name, b.DistinctStates, b.JobsPerSec, b.RecoverySeconds)
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -194,4 +217,146 @@ func run(out string, pr int, config string) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// benchCheckd measures the checking service through an in-process
+// supervisor: uncached and cached job throughput, and the drain→restart
+// recovery latency.
+func benchCheckd(rcfg raftmongo.Config) ([]benchmark, error) {
+	// Uncached: the same locking configuration submitted with NoCache, so
+	// every job pays a full exploration. Bounded and CPU-deterministic.
+	const uncached = 6
+	root, err := os.MkdirTemp("", "benchjson-checkd-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	sup, err := checkd.New(checkd.Config{Root: filepath.Join(root, "uncached"), MaxConcurrent: 2, QueueDepth: uncached})
+	if err != nil {
+		return nil, err
+	}
+	waitDone := func(s *checkd.Supervisor, id string) (checkd.JobResult, error) {
+		for {
+			res, err := s.Result(id)
+			if err != nil || res.State.Terminal() {
+				if err == nil && res.State != checkd.JobDone {
+					err = fmt.Errorf("job %s ended %s: %s", id, res.State, res.Error)
+				}
+				return res, err
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	req := checkd.JobRequest{Spec: "locking", Config: checkd.SpecParams{Actors: 3}}
+	start := time.Now()
+	ids := make([]string, 0, uncached)
+	for i := 0; i < uncached; i++ {
+		r := req
+		r.Options.NoCache = true
+		res, err := sup.Submit(r)
+		if err != nil {
+			return nil, fmt.Errorf("checkd/jobs-uncached: %w", err)
+		}
+		ids = append(ids, res.ID)
+	}
+	var distinct int
+	for _, id := range ids {
+		res, err := waitDone(sup, id)
+		if err != nil {
+			return nil, fmt.Errorf("checkd/jobs-uncached: %w", err)
+		}
+		distinct = res.Outcome.Distinct
+	}
+	uncachedWall := time.Since(start).Seconds()
+	rows := []benchmark{{
+		Name:           "checkd/jobs-uncached",
+		DistinctStates: distinct,
+		Reduction:      1,
+		JobsPerSec:     float64(uncached) / uncachedWall,
+		WallSeconds:    uncachedWall,
+	}}
+
+	// Cached: one priming run, then the same fingerprint replayed against
+	// the verdict cache — the CI-resubmission path.
+	const cached = 200
+	if _, err := sup.Submit(req); err != nil {
+		return nil, err
+	}
+	prime, err := sup.Submit(req) // wait via the cached-or-queued result
+	if err != nil {
+		return nil, err
+	}
+	if !prime.Cached {
+		if _, err := waitDone(sup, prime.ID); err != nil {
+			return nil, err
+		}
+	}
+	start = time.Now()
+	for i := 0; i < cached; i++ {
+		res, err := sup.Submit(req)
+		if err != nil {
+			return nil, fmt.Errorf("checkd/jobs-cached: %w", err)
+		}
+		if !res.Cached {
+			return nil, fmt.Errorf("checkd/jobs-cached: submission %d missed the verdict cache", i)
+		}
+	}
+	cachedWall := time.Since(start).Seconds()
+	rows = append(rows, benchmark{
+		Name:           "checkd/jobs-cached",
+		DistinctStates: distinct,
+		Reduction:      1,
+		JobsPerSec:     float64(cached) / cachedWall,
+		WallSeconds:    cachedWall,
+	})
+	sup.Drain()
+
+	// Recovery: drain a checkpointing raftmongo job mid-run, then time a
+	// fresh supervisor from startup scan to the resumed job's verdict —
+	// the latency a kill -9 or rolling restart adds to a running job.
+	recRoot := filepath.Join(root, "recovery")
+	sup2, err := checkd.New(checkd.Config{Root: recRoot, CheckpointEvery: 1})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sup2.Submit(checkd.JobRequest{
+		Spec:   "raftmongo-v2",
+		Config: checkd.SpecParams{Nodes: rcfg.Nodes, MaxTerm: 2, MaxLog: 2},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		st, err := sup2.Status(res.ID)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return nil, fmt.Errorf("checkd/recovery: job finished before the drain")
+		}
+		if st.Progress != nil && st.Progress.Distinct > 5000 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sup2.Drain()
+	start = time.Now()
+	sup3, err := checkd.New(checkd.Config{Root: recRoot, CheckpointEvery: 4})
+	if err != nil {
+		return nil, err
+	}
+	final, err := waitDone(sup3, res.ID)
+	if err != nil {
+		return nil, fmt.Errorf("checkd/recovery: %w", err)
+	}
+	recovery := time.Since(start).Seconds()
+	sup3.Drain()
+	rows = append(rows, benchmark{
+		Name:            "checkd/recovery",
+		DistinctStates:  final.Outcome.Distinct,
+		Reduction:       1,
+		RecoverySeconds: recovery,
+		WallSeconds:     recovery,
+	})
+	return rows, nil
 }

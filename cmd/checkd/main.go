@@ -1,0 +1,101 @@
+// Command checkd serves model checking as a service: an HTTP/JSON API over
+// the internal/checkd supervisor. Jobs name a registered spec
+// (raftmongo-v1/v2, locking, arrayot) plus configuration; the supervisor
+// runs them with per-job memory budgets, deadlines and periodic
+// checkpoints, retries transient failures with capped backoff, caches
+// verdicts, and recovers in-flight jobs from their checkpoints after a
+// crash or restart.
+//
+// Shutdown is two-signal: the first SIGTERM/SIGINT drains — admission
+// stops, running jobs checkpoint and park, queued jobs stay persisted —
+// and the process exits 0; a second signal force-exits immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/checkd"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:8080", "address to serve the API on (host:0 picks a free port)")
+		root          = flag.String("root", "checkd-data", "persistence root: job requests, checkpoints, results")
+		maxConcurrent = flag.Int("max-concurrent", 2, "jobs checking at once")
+		queueDepth    = flag.Int("queue-depth", 16, "bounded admission queue; beyond it submissions get 429")
+		ckEvery       = flag.Int("checkpoint-every", 4, "checkpoint cadence in BFS levels (bounds work lost to kill -9)")
+		maxAttempts   = flag.Int("max-attempts", 3, "attempts per job before a retryable failure becomes permanent")
+		memBudget     = flag.Int64("mem-budget-per-job", 0, "default per-job memory budget in bytes (0 = resident)")
+		jobDeadline   = flag.Duration("job-deadline", 0, "wall-clock cap per job run, e.g. 10m (0 = none)")
+	)
+	flag.Parse()
+
+	sup, err := checkd.New(checkd.Config{
+		Root:            *root,
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		CheckpointEvery: *ckEvery,
+		MaxAttempts:     *maxAttempts,
+		MemBudgetPerJob: *memBudget,
+		JobDeadline:     *jobDeadline,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkd:", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkd:", err)
+		os.Exit(2)
+	}
+	srv := &http.Server{Handler: checkd.NewHandler(sup)}
+
+	// Announce the bound address on stdout — with -listen host:0 this line
+	// is how scripts and the acceptance test learn the port.
+	fmt.Printf("checkd listening on http://%s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "checkd: serve:", err)
+		os.Exit(2)
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "checkd: %v: draining (again to force exit)\n", sig)
+	}
+
+	// Second signal during the drain force-exits: drain progress is bounded
+	// by how fast running jobs reach their checkpoint, and the operator may
+	// not want to wait. The persisted state stays resumable either way.
+	done := make(chan struct{})
+	go func() {
+		sup.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "checkd: %v: forcing exit mid-drain\n", sig)
+		os.Exit(1)
+	}
+	srv.Close()
+	// Give the listener a beat to release before exiting so an immediate
+	// restart on the same port does not race the close.
+	time.Sleep(10 * time.Millisecond)
+	fmt.Fprintln(os.Stderr, "checkd: drained, exiting")
+}

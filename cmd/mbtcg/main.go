@@ -8,7 +8,7 @@
 // Usage:
 //
 //	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N] [-symmetry] [-por] [-mem-budget BYTES] \
-//	      [-schedule levelsync|worksteal] [-arena]
+//	      [-schedule levelsync|worksteal] [-arena] [-deadline DUR]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/arrayot"
 	"repro/internal/coverage"
@@ -39,6 +40,7 @@ func main() {
 		memBudget = flag.Int64("mem-budget", 0, "approximate visited-set bytes before fingerprint shards spill to sorted runs on disk (0 = fully resident)")
 		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync or level-sync (deterministic BFS and DOT output), worksteal or work-steal (barrier-free; same cases, nondeterministic graph order)")
 		arena     = flag.Bool("arena", false, "serve the state graph from the checker's encoded-state arena instead of live values (with -mem-budget it spills to disk, so generation runs on graphs that never fit in RAM)")
+		deadline  = flag.Duration("deadline", 0, "wall-clock bound on the exploration, e.g. 90s or 10m (0 = none); generation needs the complete graph, so an over-deadline run aborts with the partial-state count")
 	)
 	flag.Parse()
 	if *symmetry {
@@ -60,18 +62,21 @@ func main() {
 	// pipeline with the partial-state count. A second signal kills normally.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule, *arena, *por); err != nil {
+	if err := run(ctx, *dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule, *arena, *por, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtcg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string, arena, por bool) error {
+func run(ctx context.Context, dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string, arena, por bool, deadline time.Duration) error {
 	sched, err := tla.ParseSchedule(schedule)
 	if err != nil {
 		return err
 	}
 	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget, Schedule: sched, StateArena: arena, PartialOrder: por, Context: ctx}
+	if deadline > 0 {
+		opts.Deadline = time.Now().Add(deadline)
+	}
 	if err := opts.Validate(); err != nil {
 		return err
 	}

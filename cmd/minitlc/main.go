@@ -16,7 +16,7 @@
 //	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
 //	        [-dot out.dot] [-liveness] [-workers N] [-symmetry] [-por] [-mem-budget BYTES] \
 //	        [-schedule levelsync|worksteal] [-arena] \
-//	        [-checkpoint DIR] [-checkpoint-every N] [-resume DIR]
+//	        [-checkpoint DIR] [-checkpoint-every N] [-resume DIR] [-deadline DUR]
 package main
 
 import (
@@ -102,6 +102,7 @@ func main() {
 		ckDir     = flag.String("checkpoint", "", "write a resumable checkpoint to this directory on interrupt (and periodically with -checkpoint-every); implies -arena")
 		ckEvery   = flag.Int("checkpoint-every", 0, "additionally checkpoint every N BFS levels (0 = only on interrupt; needs -checkpoint)")
 		resume    = flag.String("resume", "", "resume the run checkpointed in this directory (spec flags are restored from the checkpoint); implies -arena and, unless -checkpoint says otherwise, further checkpoints go to the same directory")
+		deadline  = flag.Duration("deadline", 0, "wall-clock bound on the run, e.g. 90s or 10m (0 = none); a run over the deadline stops like an interrupt — partial statistics, and a resumable checkpoint under -checkpoint")
 	)
 	flag.Parse()
 
@@ -113,13 +114,13 @@ func main() {
 	defer stop()
 
 	cfg := specConfig{specName: *specName, nodes: *nodes, maxTerm: *maxTerm, maxLog: *maxLog, actors: *actors, symmetry: *symmetry, por: *por}
-	if err := run(ctx, cfg, *dotPath, *liveness, *workers, *memBudget, *schedule, *arena, *ckDir, *ckEvery, *resume); err != nil {
+	if err := run(ctx, cfg, *dotPath, *liveness, *workers, *memBudget, *schedule, *arena, *ckDir, *ckEvery, *resume, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "minitlc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, workers int, memBudget int64, schedule string, arena bool, ckDir string, ckEvery int, resume string) error {
+func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, workers int, memBudget int64, schedule string, arena bool, ckDir string, ckEvery int, resume string, deadline time.Duration) error {
 	sched, err := tla.ParseSchedule(schedule)
 	if err != nil {
 		return err
@@ -165,6 +166,9 @@ func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, wor
 		CheckpointEvery:   ckEvery,
 		ResumeFrom:        resume,
 		CheckpointMeta:    cfg.meta(),
+	}
+	if deadline > 0 {
+		opts.Deadline = time.Now().Add(deadline)
 	}
 	if err := opts.Validate(); err != nil {
 		return err

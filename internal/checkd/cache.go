@@ -1,0 +1,42 @@
+package checkd
+
+import "sync"
+
+// verdictCache maps job fingerprints — (spec name, canonical config,
+// result-shaping options), see JobRequest.fingerprint — to completed
+// outcomes, so repeat CI submissions of an unchanged configuration return
+// instantly instead of re-exploring hundreds of thousands of states.
+// Outcomes are immutable once a job completes, so entries share pointers.
+//
+// Only "done" outcomes enter the cache: failures and cancellations are not
+// verdicts, and caching them would make a transient fault permanent. The
+// cache is unbounded by entry count but bounded in practice by the number
+// of distinct configurations ever submitted — each entry is a few hundred
+// bytes (a violation trace at most).
+type verdictCache struct {
+	mu sync.Mutex
+	m  map[uint64]*Outcome
+}
+
+func newVerdictCache() *verdictCache {
+	return &verdictCache{m: make(map[uint64]*Outcome)}
+}
+
+func (c *verdictCache) get(fp uint64) (*Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.m[fp]
+	return out, ok
+}
+
+func (c *verdictCache) put(fp uint64, out *Outcome) {
+	c.mu.Lock()
+	c.m[fp] = out
+	c.mu.Unlock()
+}
+
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

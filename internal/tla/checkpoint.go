@@ -154,6 +154,15 @@ func optionsFingerprint(o Options) uint64 {
 	return fnv1a64([]byte(fmt.Sprintf("maxstates=%d;maxdepth=%d;forcekey=%t;por=%t", o.MaxStates, o.MaxDepth, o.ForceKeyEncoding, o.PartialOrder)))
 }
 
+// Fingerprint hashes the result-shaping options — the exact hash checkpoint
+// manifests record as options_fp, so two option sets with equal
+// fingerprints produce interchangeable verdicts (and resumable
+// checkpoints) for the same spec. Worker counts, schedules, budgets and
+// checkpoint paths deliberately do not contribute; see the manifest
+// validation in resumeRun. Exported for verdict caches keyed on
+// (spec, config, options) — see internal/checkd.
+func (o Options) Fingerprint() uint64 { return optionsFingerprint(o) }
+
 // writeCheckpoint seals the run's state at a level boundary into ck's
 // directory as a fresh generation. On any failure this generation's files
 // are removed and the previous checkpoint stays valid.

@@ -378,8 +378,32 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	// steady exploration stops allocating candidate storage once the
 	// widest level has grown them.
 	var pool chunkPool[S]
+	// report delivers one Options.Progress snapshot at a level boundary.
+	// It runs on the merge goroutine, so the counters it reads are settled;
+	// spill pressure sums the visited store's sealed runs and the arena's
+	// spill file, both of which only grow on this goroutine too.
+	report := func(frontier []int, level int) {
+		if opts.Progress == nil {
+			return
+		}
+		p := Progress{
+			Distinct:    ret.len(),
+			Transitions: res.Transitions,
+			Depth:       res.Depth,
+			Level:       level,
+			Frontier:    len(frontier),
+		}
+		if sb, ok := vs.(interface{ spilledBytes() int64 }); ok {
+			p.SpillBytes += sb.spilledBytes()
+		}
+		if ret.arena != nil {
+			p.SpillBytes += ret.arena.fileSize
+		}
+		opts.Progress(p)
+	}
 	for {
 		frontier := fr.NextLevel()
+		report(frontier, level)
 		if st.stopped() {
 			return interrupted(frontier, level)
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"syscall"
 	"testing"
+	"time"
 )
 
 // Fault-injection tests for the durable-I/O contract (fs.go): transient
@@ -166,6 +167,126 @@ func TestDegradedRunStillFindsViolation(t *testing.T) {
 	res, err = Check(mk(), Options{Workers: 4, MemoryBudgetBytes: 1, StateArena: true, FS: ffs})
 	if !errors.Is(err, ErrInvariantViolated) || res.DegradedMemory {
 		t.Fatalf("after Clear: err = %v, DegradedMemory = %v, want a clean violating run", err, res.DegradedMemory)
+	}
+}
+
+// TestDelayFaults: the latency fault kind. A Delay fault slows matching
+// operations through the FaultFS Sleep hook instead of failing them, so
+// slow-I/O behaviour is testable without spending wall-clock time: the
+// fake sleeper here only accumulates the durations it was asked for.
+func TestDelayFaults(t *testing.T) {
+	const max = 24
+	base := Options{Workers: 4, MemoryBudgetBytes: 1, StateArena: true}
+	oracle, err := Check(counterSpec(max), base)
+	if err != nil {
+		t.Fatalf("oracle run failed: %v", err)
+	}
+
+	t.Run("delay-only-slows-never-fails", func(t *testing.T) {
+		var mu sync.Mutex
+		var slept time.Duration
+		ffs := NewFaultFS(nil)
+		ffs.Sleep = func(d time.Duration) {
+			mu.Lock()
+			slept += d
+			mu.Unlock()
+		}
+		const perOp = 250 * time.Millisecond
+		ffs.Inject(Fault{Op: FaultWrite, Path: "run-", Delay: perOp})
+		opts := base
+		opts.FS = ffs
+		res, err := Check(counterSpec(max), opts)
+		if err != nil {
+			t.Fatalf("delayed run failed: %v", err)
+		}
+		fired := len(ffs.Fired())
+		if fired == 0 {
+			t.Fatal("delay fault never fired — the test exercises nothing")
+		}
+		if want := time.Duration(fired) * perOp; slept != want {
+			t.Fatalf("fake sleeper saw %v across %d fired faults, want %v", slept, fired, want)
+		}
+		if res.DegradedMemory {
+			t.Fatal("a pure latency fault degraded the run")
+		}
+		if res.Distinct != oracle.Distinct || res.Transitions != oracle.Transitions {
+			t.Fatalf("counters diverged under latency: got %d/%d, want %d/%d",
+				res.Distinct, res.Transitions, oracle.Distinct, oracle.Transitions)
+		}
+	})
+
+	t.Run("delay-composes-with-error", func(t *testing.T) {
+		// A slow transient flake: the engine must both serve the sleep and
+		// then retry, converging to the oracle.
+		var mu sync.Mutex
+		var slept time.Duration
+		ffs := NewFaultFS(nil)
+		ffs.Sleep = func(d time.Duration) {
+			mu.Lock()
+			slept += d
+			mu.Unlock()
+		}
+		ffs.Inject(Fault{Op: FaultWrite, Path: "run-", Err: transientErr(), Delay: time.Second, Times: 2})
+		opts := base
+		opts.FS = ffs
+		res, err := Check(counterSpec(max), opts)
+		if err != nil {
+			t.Fatalf("slow-flake run failed: %v", err)
+		}
+		if slept != 2*time.Second {
+			t.Fatalf("fake sleeper saw %v, want 2s (two fired slow flakes)", slept)
+		}
+		if res.DegradedMemory || res.Distinct != oracle.Distinct {
+			t.Fatalf("slow flake changed the outcome: degraded=%v distinct=%d (oracle %d)",
+				res.DegradedMemory, res.Distinct, oracle.Distinct)
+		}
+	})
+}
+
+// TestProgressCallback pins the Options.Progress contract: per-level
+// snapshots on the merge goroutine with monotonic counters, a frontier
+// width that drains to zero, and nonzero spill pressure once the budget
+// forces runs to disk.
+func TestProgressCallback(t *testing.T) {
+	var snaps []Progress
+	opts := Options{
+		Workers:           4,
+		MemoryBudgetBytes: 1,
+		StateArena:        true,
+		Progress:          func(p Progress) { snaps = append(snaps, p) },
+	}
+	res, err := Check(counterSpec(24), opts)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("got %d progress snapshots, want one per BFS level", len(snaps))
+	}
+	var maxSpill int64
+	for i, p := range snaps {
+		if p.Level != i {
+			t.Fatalf("snapshot %d reports level %d", i, p.Level)
+		}
+		if i > 0 {
+			prev := snaps[i-1]
+			if p.Distinct < prev.Distinct || p.Transitions < prev.Transitions || p.Depth < prev.Depth {
+				t.Fatalf("counters regressed between snapshots %d and %d: %+v -> %+v", i-1, i, prev, p)
+			}
+		}
+		if p.SpillBytes > maxSpill {
+			maxSpill = p.SpillBytes
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Frontier != 0 {
+		t.Fatalf("final snapshot still has %d frontier states", last.Frontier)
+	}
+	if last.Distinct != res.Distinct || last.Transitions != res.Transitions || last.Depth != res.Depth {
+		t.Fatalf("final snapshot %+v disagrees with the result %d/%d/%d",
+			last, res.Distinct, res.Transitions, res.Depth)
+	}
+	if maxSpill == 0 {
+		t.Fatal("a budget-1 spilled run never reported spill pressure")
 	}
 }
 

@@ -29,3 +29,10 @@ func fnv1a64(b []byte) uint64 {
 // fingerprint is the active fingerprint function. It is a variable only so
 // tests can substitute a deliberately weak hash and force collisions.
 var fingerprint = fnv1a64
+
+// FingerprintBytes hashes b with the checker's fingerprint function — the
+// same FNV-1a the visited stores and checkpoint manifests use. Exported so
+// callers composing identities on top of the checker (checkd's verdict
+// cache keys spec name + config alongside Options.Fingerprint) hash with
+// the machinery already trusted for state identity.
+func FingerprintBytes(b []byte) uint64 { return fnv1a64(b) }

@@ -193,6 +193,12 @@ const (
 // operations succeed, at most Times times (0 = every time). Short makes a
 // failing write a torn write: half the bytes reach the underlying file
 // before the error is returned.
+//
+// Delay makes the matching operation slow instead of (or as well as)
+// broken: the FaultFS sleeps Delay — through its Sleep hook, so tests can
+// fake the clock — and then lets the operation proceed when Err is nil, or
+// fail with Err when it is not. A Delay fault with a nil Err still counts
+// as fired (it appears in Fired()).
 type Fault struct {
 	Op    FaultOp
 	Path  string
@@ -200,6 +206,7 @@ type Fault struct {
 	After int
 	Times int
 	Short bool
+	Delay time.Duration
 }
 
 type faultState struct {
@@ -215,6 +222,11 @@ type faultState struct {
 // concurrent use.
 type FaultFS struct {
 	Base FS
+	// Sleep, when non-nil, replaces time.Sleep for Delay faults — the hook
+	// that lets latency tests measure injected slowness without spending
+	// wall-clock time. Set it before the FaultFS is used; it is read
+	// without the mutex.
+	Sleep func(time.Duration)
 
 	mu     sync.Mutex
 	faults []*faultState
@@ -248,10 +260,10 @@ func (ffs *FaultFS) Fired() []string {
 	return append([]string(nil), ffs.log...)
 }
 
-// check consults the armed faults for an operation; a non-nil error means
-// the operation must fail with it (short reports whether a write should be
-// torn rather than entirely suppressed).
-func (ffs *FaultFS) check(op FaultOp, path string) (err error, short bool) {
+// check consults the armed faults for an operation under the mutex; the
+// caller-facing wrapper is fault, which performs a Delay fault's sleep
+// outside the lock so slow I/O on one file never serializes the others.
+func (ffs *FaultFS) check(op FaultOp, path string) (err error, short bool, delay time.Duration) {
 	ffs.mu.Lock()
 	defer ffs.mu.Unlock()
 	for _, f := range ffs.faults {
@@ -270,13 +282,28 @@ func (ffs *FaultFS) check(op FaultOp, path string) (err error, short bool) {
 		}
 		f.fired++
 		ffs.log = append(ffs.log, fmt.Sprintf("%s %s", op, path))
-		return f.Err, f.Short
+		return f.Err, f.Short, f.Delay
 	}
-	return nil, false
+	return nil, false, 0
+}
+
+// fault is the per-operation entry point: it matches the armed faults and
+// serves a Delay fault's sleep (via the Sleep hook when set) before
+// returning the failure verdict.
+func (ffs *FaultFS) fault(op FaultOp, path string) (err error, short bool) {
+	err, short, delay := ffs.check(op, path)
+	if delay > 0 {
+		if ffs.Sleep != nil {
+			ffs.Sleep(delay)
+		} else {
+			time.Sleep(delay)
+		}
+	}
+	return err, short
 }
 
 func (ffs *FaultFS) Create(name string) (File, error) {
-	if err, _ := ffs.check(FaultCreate, name); err != nil {
+	if err, _ := ffs.fault(FaultCreate, name); err != nil {
 		return nil, fmt.Errorf("create %s: %w", name, err)
 	}
 	f, err := ffs.Base.Create(name)
@@ -287,7 +314,7 @@ func (ffs *FaultFS) Create(name string) (File, error) {
 }
 
 func (ffs *FaultFS) Open(name string) (File, error) {
-	if err, _ := ffs.check(FaultOpen, name); err != nil {
+	if err, _ := ffs.fault(FaultOpen, name); err != nil {
 		return nil, fmt.Errorf("open %s: %w", name, err)
 	}
 	f, err := ffs.Base.Open(name)
@@ -298,7 +325,7 @@ func (ffs *FaultFS) Open(name string) (File, error) {
 }
 
 func (ffs *FaultFS) CreateTemp(dir, pattern string) (File, error) {
-	if err, _ := ffs.check(FaultCreate, pattern); err != nil {
+	if err, _ := ffs.fault(FaultCreate, pattern); err != nil {
 		return nil, fmt.Errorf("create temp %s: %w", pattern, err)
 	}
 	f, err := ffs.Base.CreateTemp(dir, pattern)
@@ -309,35 +336,35 @@ func (ffs *FaultFS) CreateTemp(dir, pattern string) (File, error) {
 }
 
 func (ffs *FaultFS) MkdirTemp(dir, pattern string) (string, error) {
-	if err, _ := ffs.check(FaultMkdir, pattern); err != nil {
+	if err, _ := ffs.fault(FaultMkdir, pattern); err != nil {
 		return "", fmt.Errorf("mkdir temp %s: %w", pattern, err)
 	}
 	return ffs.Base.MkdirTemp(dir, pattern)
 }
 
 func (ffs *FaultFS) MkdirAll(path string) error {
-	if err, _ := ffs.check(FaultMkdir, path); err != nil {
+	if err, _ := ffs.fault(FaultMkdir, path); err != nil {
 		return fmt.Errorf("mkdir %s: %w", path, err)
 	}
 	return ffs.Base.MkdirAll(path)
 }
 
 func (ffs *FaultFS) Rename(oldpath, newpath string) error {
-	if err, _ := ffs.check(FaultRename, newpath); err != nil {
+	if err, _ := ffs.fault(FaultRename, newpath); err != nil {
 		return fmt.Errorf("rename %s: %w", newpath, err)
 	}
 	return ffs.Base.Rename(oldpath, newpath)
 }
 
 func (ffs *FaultFS) Remove(name string) error {
-	if err, _ := ffs.check(FaultRemove, name); err != nil {
+	if err, _ := ffs.fault(FaultRemove, name); err != nil {
 		return fmt.Errorf("remove %s: %w", name, err)
 	}
 	return ffs.Base.Remove(name)
 }
 
 func (ffs *FaultFS) RemoveAll(path string) error {
-	if err, _ := ffs.check(FaultRemove, path); err != nil {
+	if err, _ := ffs.fault(FaultRemove, path); err != nil {
 		return fmt.Errorf("remove %s: %w", path, err)
 	}
 	return ffs.Base.RemoveAll(path)
@@ -351,7 +378,7 @@ type faultFile struct {
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
-	if err, short := f.ffs.check(FaultWrite, f.Name()); err != nil {
+	if err, short := f.ffs.fault(FaultWrite, f.Name()); err != nil {
 		if short && len(p) > 0 {
 			n, _ := f.File.Write(p[:len(p)/2]) // torn write: half the bytes land
 			return n, fmt.Errorf("write %s: %w", f.Name(), err)
@@ -362,7 +389,7 @@ func (f *faultFile) Write(p []byte) (int, error) {
 }
 
 func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	if err, short := f.ffs.check(FaultWrite, f.Name()); err != nil {
+	if err, short := f.ffs.fault(FaultWrite, f.Name()); err != nil {
 		if short && len(p) > 0 {
 			n, _ := f.File.WriteAt(p[:len(p)/2], off)
 			return n, fmt.Errorf("write %s: %w", f.Name(), err)
@@ -373,21 +400,21 @@ func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
 }
 
 func (f *faultFile) Read(p []byte) (int, error) {
-	if err, _ := f.ffs.check(FaultRead, f.Name()); err != nil {
+	if err, _ := f.ffs.fault(FaultRead, f.Name()); err != nil {
 		return 0, fmt.Errorf("read %s: %w", f.Name(), err)
 	}
 	return f.File.Read(p)
 }
 
 func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if err, _ := f.ffs.check(FaultRead, f.Name()); err != nil {
+	if err, _ := f.ffs.fault(FaultRead, f.Name()); err != nil {
 		return 0, fmt.Errorf("read %s: %w", f.Name(), err)
 	}
 	return f.File.ReadAt(p, off)
 }
 
 func (f *faultFile) Close() error {
-	if err, _ := f.ffs.check(FaultClose, f.Name()); err != nil {
+	if err, _ := f.ffs.fault(FaultClose, f.Name()); err != nil {
 		return fmt.Errorf("close %s: %w", f.Name(), err)
 	}
 	return f.File.Close()

@@ -82,6 +82,7 @@ type spillVisited struct {
 	runs     []string // paths of sealed sorted run files, oldest first
 	seq      int      // run file name sequence (survives compaction)
 	resident int      // fingerprints currently held in the shard maps
+	sealed   int64    // bytes of sealed run files currently on disk
 	degraded bool     // a persistent spill-write failure switched the store to hold-resident
 	shards   [visitedShards]spillShard
 
@@ -101,6 +102,11 @@ func newSpillVisited(budget int64, fsys FS) *spillVisited {
 // degradedMemory reports whether a persistent spill failure forced the
 // store to hold its resident set over budget (Result.DegradedMemory).
 func (vs *spillVisited) degradedMemory() bool { return vs.degraded }
+
+// spilledBytes reports the bytes of sealed runs on disk — the visited
+// set's half of Progress.SpillBytes. Merge goroutine only, like the seal
+// and compaction paths that maintain it.
+func (vs *spillVisited) spilledBytes() int64 { return vs.sealed }
 
 // Claim implements VisitedStore. A fingerprint absent from the resident
 // maps gets a provisional ID -1 entry even if it was spilled earlier;
@@ -287,6 +293,7 @@ func (vs *spillVisited) writeRun(recs []spillRec) error {
 		return err
 	}
 	vs.runs = append(vs.runs, path)
+	vs.sealed += int64(len(recs)) * spillRecSize
 	return nil
 }
 
@@ -387,6 +394,7 @@ func (vs *spillVisited) compactRuns() error {
 	}
 	w := bufio.NewWriterSize(out, 1<<16)
 	var buf [spillRecSize]byte
+	var written int64
 	// The fan-in is bounded by spillCompactAfter+1, so a linear min-scan
 	// per record beats the bookkeeping of a heap.
 	for {
@@ -405,6 +413,7 @@ func (vs *spillVisited) compactRuns() error {
 		if _, err := w.Write(buf[:]); err != nil {
 			return fail(err)
 		}
+		written++
 		// Consume this fingerprint from every run that carries it.
 		for _, rr := range readers {
 			for !rr.eof && rr.cur.fp == rec.fp {
@@ -431,6 +440,7 @@ func (vs *spillVisited) compactRuns() error {
 	}
 	vs.runs = vs.runs[:0]
 	vs.runs = append(vs.runs, path)
+	vs.sealed = written * spillRecSize
 	return nil
 }
 

@@ -383,6 +383,26 @@ type Options struct {
 	// the CLIs use to persist the flag configuration a resumed process
 	// needs to rebuild the identical spec.
 	CheckpointMeta map[string]string
+	// Progress, when non-nil, is called at every BFS level boundary of a
+	// level-synchronized run with a snapshot of the exploration so far —
+	// the hook a long-lived server (cmd/checkd) streams to clients. The
+	// callback runs on the merge goroutine between levels, so it must not
+	// block for long and must not call back into the engine; it needs no
+	// internal locking of its own. The work-stealing schedule has no level
+	// structure and reports nothing — runs that want progress and asked
+	// for ScheduleWorkSteal should accept the level-sync fallback instead.
+	Progress func(Progress)
+}
+
+// Progress is one Options.Progress snapshot: the counters of an in-flight
+// run at a BFS level boundary, before the level's frontier is expanded.
+type Progress struct {
+	Distinct    int   // distinct states found so far
+	Transitions int   // transitions examined so far
+	Depth       int   // maximum BFS depth reached so far
+	Level       int   // fully merged BFS levels
+	Frontier    int   // states awaiting expansion at this level
+	SpillBytes  int64 // bytes of visited runs + arena segments on disk (spill pressure)
 }
 
 // checkpointing reports whether the run writes or resumes checkpoints.
