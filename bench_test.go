@@ -19,6 +19,7 @@ import (
 	"repro/internal/locking"
 	"repro/internal/mbtc"
 	"repro/internal/mbtcg"
+	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/otgo"
 	"repro/internal/raftmongo"
@@ -315,6 +316,42 @@ func BenchmarkWorkStealCheck(b *testing.B) {
 					reportStatesPerSec(b, states)
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkObservedCheck carries the instrumentation-overhead claim of
+// BENCH_10.json: the same exploration the throughput benchmarks pin, run
+// with Options.Metrics off and on, across both schedulers. The metrics=on
+// variants pay every hot-path hook the observability layer installs —
+// per-worker expansion/claim counters, the successor fan-out histogram,
+// steal accounting — so the states/sec delta between paired sub-benchmarks
+// is the registry's whole tax (acceptance: ≤ 3%). cmd/benchjson measures
+// the same pair with noise-robust interleaved sampling for the pinned
+// number; this benchmark keeps the comparison one `go test -bench` away.
+func BenchmarkObservedCheck(b *testing.B) {
+	spec := func() *tla.Spec[raftmongo.State] {
+		return raftmongo.SpecV2(raftmongo.Config{Nodes: 3, MaxTerm: 2, MaxLogLen: 2})
+	}
+	for _, sched := range []tla.Schedule{tla.ScheduleLevelSync, tla.ScheduleWorkSteal} {
+		for _, metrics := range []bool{false, true} {
+			b.Run(fmt.Sprintf("schedule=%s/metrics=%v", sched, metrics), func(b *testing.B) {
+				b.ReportAllocs()
+				var states int64
+				for i := 0; i < b.N; i++ {
+					opts := tla.Options{Schedule: sched}
+					if metrics {
+						opts.Metrics = obs.NewRegistry()
+					}
+					res, err := tla.Check(spec(), opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					states += int64(res.Distinct)
+					b.ReportMetric(float64(res.Distinct), "states")
+				}
+				reportStatesPerSec(b, states)
+			})
 		}
 	}
 }

@@ -1,7 +1,7 @@
 // Command benchjson starts the repository's machine-readable performance
 // trajectory: it runs the reduction and throughput measurements that CI's
 // bench-delta stage watches as Go benchmarks, in-process, and writes them
-// as one JSON file per PR — BENCH_9.json for this one; future PRs append
+// as one JSON file per PR — BENCH_10.json for this one; future PRs append
 // BENCH_<n>.json next to it so the series can be diffed and plotted
 // without parsing `go test -bench` text.
 //
@@ -41,9 +41,16 @@
 // (checkd/recovery drains a checkpointing job mid-run and times a fresh
 // supervisor from startup scan to the resumed job's verdict).
 //
+// The "obs-overhead/" families pin the instrumentation tax: the same
+// exploration run with Options.Metrics off (the baseline states/sec) and
+// on, with the relative slowdown in "overhead_pct" — the number the
+// acceptance gate holds below 3%. Each mode's wall time is the best of
+// several interleaved repetitions, which cancels scheduler noise that
+// would otherwise swamp a single-digit-percent measurement.
+//
 // Usage:
 //
-//	benchjson [-out BENCH_9.json] [-pr 9] [-config small|full]
+//	benchjson [-out BENCH_10.json] [-pr 10] [-config small|full]
 package main
 
 import (
@@ -53,10 +60,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/checkd"
 	"repro/internal/locking"
+	"repro/internal/obs"
 	"repro/internal/raftmongo"
 	"repro/internal/tla"
 )
@@ -74,6 +83,9 @@ type benchmark struct {
 	// zero (omitted) on the engine families.
 	JobsPerSec      float64 `json:"jobs_per_sec,omitempty"`
 	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
+	// The obs-overhead families report the metrics-registry slowdown in
+	// percent of baseline states/sec; omitted elsewhere.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 type report struct {
@@ -87,8 +99,8 @@ type report struct {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_9.json", "output path")
-		pr     = flag.Int("pr", 9, "PR number recorded in the report")
+		out    = flag.String("out", "BENCH_10.json", "output path")
+		pr     = flag.Int("pr", 10, "PR number recorded in the report")
 		config = flag.String("config", "small", "state-space size: small (3 nodes, 2 terms, logs of 2) or full (the paper's 3/3/3)")
 	)
 	flag.Parse()
@@ -192,6 +204,16 @@ func run(out string, pr int, config string) error {
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 
+	obsRows, err := benchObsOverhead(rcfg)
+	if err != nil {
+		return err
+	}
+	for _, b := range obsRows {
+		fmt.Printf("%-28s states=%-8d states/sec=%-10.0f overhead=%.2f%%\n",
+			b.Name, b.DistinctStates, b.StatesPerSec, b.OverheadPct)
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+
 	serviceRows, err := benchCheckd(rcfg)
 	if err != nil {
 		return err
@@ -217,6 +239,96 @@ func run(out string, pr int, config string) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// benchObsOverhead measures the metrics registry's states/sec tax on the
+// two CI-pinned exploration shapes — the level-synchronized parallel check
+// (BenchmarkParallelCheck) and the work-stealing check
+// (BenchmarkWorkStealCheck) — by running the same spec with Options.Metrics
+// off and on. Repetitions interleave the two modes and each mode keeps its
+// best wall time, so a background scheduling hiccup cannot masquerade as
+// instrumentation overhead.
+func benchObsOverhead(rcfg raftmongo.Config) ([]benchmark, error) {
+	const (
+		reps          = 9 // paired samples per shape; the median ratio is reported
+		runsPerSample = 3 // checks per timed sample, amortizing timer/load noise
+	)
+	shapes := []struct {
+		name  string
+		sched tla.Schedule
+	}{
+		{"obs-overhead/levelsync", tla.ScheduleLevelSync},
+		{"obs-overhead/worksteal", tla.ScheduleWorkSteal},
+	}
+	var rows []benchmark
+	for _, sh := range shapes {
+		one := func(instrument bool) (int, float64, error) {
+			opts := tla.Options{Schedule: sh.sched}
+			if instrument {
+				opts.Metrics = obs.NewRegistry()
+			}
+			res, err := tla.Check(raftmongo.SpecV2(rcfg), opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Distinct, 0, nil
+		}
+		// Warm-up run: page in the spec's code paths before timing.
+		if _, _, err := one(false); err != nil {
+			return nil, fmt.Errorf("%s: %w", sh.name, err)
+		}
+		var distinct int
+		ratios := make([]float64, 0, reps)
+		onWalls := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			// Each rep times the two modes back-to-back and keeps their
+			// ratio: machine load varies slowly relative to one run, so it
+			// cancels within a pair where it would swamp a min-of-N of
+			// absolute walls. Alternating which mode runs first keeps a
+			// monotone load trend from biasing the ratio either way.
+			order := []bool{false, true}
+			if r%2 == 1 {
+				order = []bool{true, false}
+			}
+			var wallOff, wallOn float64
+			for _, instrument := range order {
+				start := time.Now()
+				for n := 0; n < runsPerSample; n++ {
+					d, _, err := one(instrument)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %w", sh.name, err)
+					}
+					distinct = d
+				}
+				wall := time.Since(start).Seconds() / runsPerSample
+				if instrument {
+					wallOn = wall
+				} else {
+					wallOff = wall
+				}
+			}
+			ratios = append(ratios, wallOn/wallOff)
+			onWalls = append(onWalls, wallOn)
+		}
+		// Median of the paired ratios is the overhead estimate; the median
+		// instrumented wall anchors the reported throughput.
+		sort.Float64s(ratios)
+		sort.Float64s(onWalls)
+		ratio := ratios[reps/2]
+		bestOn := onWalls[reps/2]
+		instSS := float64(distinct) / bestOn
+		baseSS := instSS * ratio
+		rows = append(rows, benchmark{
+			Name:           sh.name,
+			DistinctStates: distinct,
+			BaselineStates: distinct,
+			Reduction:      1,
+			StatesPerSec:   instSS,
+			WallSeconds:    bestOn,
+			OverheadPct:    (1 - instSS/baseSS) * 100,
+		})
+	}
+	return rows, nil
 }
 
 // benchCheckd measures the checking service through an in-process
@@ -315,7 +427,10 @@ func benchCheckd(rcfg raftmongo.Config) ([]benchmark, error) {
 	// fresh supervisor from startup scan to the resumed job's verdict —
 	// the latency a kill -9 or rolling restart adds to a running job.
 	recRoot := filepath.Join(root, "recovery")
-	sup2, err := checkd.New(checkd.Config{Root: recRoot, CheckpointEvery: 1})
+	// A tight progress tick: the drain trigger below polls Progress.Distinct,
+	// and the service default of one tick per second would let this short job
+	// finish before the first delivery.
+	sup2, err := checkd.New(checkd.Config{Root: recRoot, CheckpointEvery: 1, ProgressEvery: 2 * time.Millisecond})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,11 @@
 // verdicts, and recovers in-flight jobs from their checkpoints after a
 // crash or restart.
 //
+// Observability: GET /metrics on the API listener serves Prometheus text
+// (process checkd_* families plus per-running-job engine tla_* families),
+// and -pprof-addr opts into net/http/pprof on a second listener — kept off
+// the API address so profiling endpoints are never exposed by accident.
+//
 // Shutdown is two-signal: the first SIGTERM/SIGINT drains — admission
 // stops, running jobs checkpoint and park, queued jobs stay persisted —
 // and the process exits 0; a second signal force-exits immediately.
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +40,8 @@ func main() {
 		maxAttempts   = flag.Int("max-attempts", 3, "attempts per job before a retryable failure becomes permanent")
 		memBudget     = flag.Int64("mem-budget-per-job", 0, "default per-job memory budget in bytes (0 = resident)")
 		jobDeadline   = flag.Duration("job-deadline", 0, "wall-clock cap per job run, e.g. 10m (0 = none)")
+		progressEvery = flag.Duration("progress-every", time.Second, "engine progress snapshot cadence feeding job states/sec")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -45,6 +53,7 @@ func main() {
 		MaxAttempts:     *maxAttempts,
 		MemBudgetPerJob: *memBudget,
 		JobDeadline:     *jobDeadline,
+		ProgressEvery:   *progressEvery,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -60,6 +69,25 @@ func main() {
 		os.Exit(2)
 	}
 	srv := &http.Server{Handler: checkd.NewHandler(sup)}
+
+	// Profiling is opt-in and on its own listener: an explicit mux (not
+	// DefaultServeMux) so nothing else a library registered leaks out, and
+	// a separate address so exposing the API never exposes pprof.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkd: pprof:", err)
+			os.Exit(2)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "checkd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, pmux) //nolint:errcheck // dies with the process
+	}
 
 	// Announce the bound address on stdout — with -listen host:0 this line
 	// is how scripts and the acceptance test learn the port.

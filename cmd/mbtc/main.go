@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mbtc -scenario write_3_and_replicate [-spec v2] [-list] [-workers N] [-symmetry] [-por] [-mem-budget BYTES] [-schedule MODE] [-arena] [-deadline DUR]
+//	mbtc -scenario write_3_and_replicate [-spec v2] [-list] [-workers N] [-symmetry] [-por] [-mem-budget BYTES] [-schedule MODE] [-arena] [-deadline DUR] [-progress-every DUR]
 //	mbtc -fuzz [-steps 400] [-seed 7] [-sync-before-writes] [-flawed]
 package main
 
@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliobs"
 	"repro/internal/fuzzer"
 	"repro/internal/mbtc"
 	"repro/internal/raftmongo"
@@ -45,6 +46,7 @@ func main() {
 		schedule     = flag.String("schedule", "levelsync", "exploration schedule: levelsync/level-sync or worksteal/work-steal (accepted for CLI uniformity; trace checking advances one observation at a time)")
 		arena        = flag.Bool("arena", false, "encoded-state retention arena (accepted for CLI uniformity; trace checking retains only the live frontier)")
 		deadline     = flag.Duration("deadline", 0, "wall-clock bound on the run, e.g. 90s or 10m (0 = none); over-deadline runs stop like an interrupt, with partial results")
+		progEvery    = flag.Duration("progress-every", 0, "print a one-line trace-checking status (step, frontier) to stderr this often, e.g. 5s (0 = off)")
 	)
 	flag.Parse()
 
@@ -62,16 +64,20 @@ func main() {
 	// a second one kills the process through the default handler.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers, *symmetry, *por, *memBudget, *schedule, *arena, *deadline); err != nil {
+	if err := run(ctx, *scenarioName, *specVariant, *fuzz, *steps, *seed, *syncFirst, *flawed, *workers, *symmetry, *por, *memBudget, *schedule, *arena, *deadline, *progEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int, symmetry, por bool, memBudget int64, schedule string, arena bool, deadline time.Duration) error {
+func run(ctx context.Context, scenarioName, specVariant string, fuzz bool, steps int, seed int64, syncFirst, flawed bool, workers int, symmetry, por bool, memBudget int64, schedule string, arena bool, deadline, progEvery time.Duration) error {
 	topts := tla.TraceOptions{Workers: workers, Context: ctx}
 	if deadline > 0 {
 		topts.Deadline = time.Now().Add(deadline)
+	}
+	if progEvery > 0 {
+		topts.Progress = cliobs.NewPrinter(os.Stderr, "mbtc", 0).ObserveTrace
+		topts.ProgressEvery = progEvery
 	}
 	if err := topts.Validate(); err != nil {
 		return err

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	mbtcg [-dot array_ot.dot] [-emit generated_test.go] [-coverage] [-workers N] [-symmetry] [-por] [-mem-budget BYTES] \
-//	      [-schedule levelsync|worksteal] [-arena] [-deadline DUR]
+//	      [-schedule levelsync|worksteal] [-arena] [-deadline DUR] [-progress-every DUR] [-journal FILE]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/arrayot"
+	"repro/internal/cliobs"
 	"repro/internal/coverage"
 	"repro/internal/fuzzer"
 	"repro/internal/mbtcg"
@@ -41,6 +42,8 @@ func main() {
 		schedule  = flag.String("schedule", "levelsync", "exploration schedule: levelsync or level-sync (deterministic BFS and DOT output), worksteal or work-steal (barrier-free; same cases, nondeterministic graph order)")
 		arena     = flag.Bool("arena", false, "serve the state graph from the checker's encoded-state arena instead of live values (with -mem-budget it spills to disk, so generation runs on graphs that never fit in RAM)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock bound on the exploration, e.g. 90s or 10m (0 = none); generation needs the complete graph, so an over-deadline run aborts with the partial-state count")
+		progEvery = flag.Duration("progress-every", 0, "print a one-line exploration status to stderr this often, e.g. 5s (0 = off); works under both schedules")
+		journal   = flag.String("journal", "", "append the exploration's run journal (JSONL) to this file")
 	)
 	flag.Parse()
 	if *symmetry {
@@ -62,13 +65,13 @@ func main() {
 	// pipeline with the partial-state count. A second signal kills normally.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule, *arena, *por, *deadline); err != nil {
+	if err := run(ctx, *dotPath, *emitPath, *withCov, *workers, *memBudget, *schedule, *arena, *por, *deadline, *progEvery, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "mbtcg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string, arena, por bool, deadline time.Duration) error {
+func run(ctx context.Context, dotPath, emitPath string, withCov bool, workers int, memBudget int64, schedule string, arena, por bool, deadline time.Duration, progEvery time.Duration, journal string) error {
 	sched, err := tla.ParseSchedule(schedule)
 	if err != nil {
 		return err
@@ -76,6 +79,18 @@ func run(ctx context.Context, dotPath, emitPath string, withCov bool, workers in
 	opts := tla.Options{Workers: workers, MemoryBudgetBytes: memBudget, Schedule: sched, StateArena: arena, PartialOrder: por, Context: ctx}
 	if deadline > 0 {
 		opts.Deadline = time.Now().Add(deadline)
+	}
+	if progEvery > 0 {
+		opts.Progress = cliobs.NewPrinter(os.Stderr, "mbtcg", memBudget).Observe
+		opts.ProgressEvery = progEvery
+	}
+	if journal != "" {
+		jf, err := os.OpenFile(journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		defer jf.Close()
+		opts.JournalWriter = jf
 	}
 	if err := opts.Validate(); err != nil {
 		return err

@@ -16,7 +16,8 @@
 //	        [-nodes 3] [-max-term 3] [-max-log 3] [-actors 2] \
 //	        [-dot out.dot] [-liveness] [-workers N] [-symmetry] [-por] [-mem-budget BYTES] \
 //	        [-schedule levelsync|worksteal] [-arena] \
-//	        [-checkpoint DIR] [-checkpoint-every N] [-resume DIR] [-deadline DUR]
+//	        [-checkpoint DIR] [-checkpoint-every N] [-resume DIR] [-deadline DUR] \
+//	        [-progress-every DUR] [-journal FILE]
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/arrayot"
+	"repro/internal/cliobs"
 	"repro/internal/locking"
 	"repro/internal/raftmongo"
 	"repro/internal/tla"
@@ -103,6 +105,8 @@ func main() {
 		ckEvery   = flag.Int("checkpoint-every", 0, "additionally checkpoint every N BFS levels (0 = only on interrupt; needs -checkpoint)")
 		resume    = flag.String("resume", "", "resume the run checkpointed in this directory (spec flags are restored from the checkpoint); implies -arena and, unless -checkpoint says otherwise, further checkpoints go to the same directory")
 		deadline  = flag.Duration("deadline", 0, "wall-clock bound on the run, e.g. 90s or 10m (0 = none); a run over the deadline stops like an interrupt — partial statistics, and a resumable checkpoint under -checkpoint")
+		progEvery = flag.Duration("progress-every", 0, "print a one-line status to stderr this often, e.g. 5s (0 = off); works under both schedules")
+		journal   = flag.String("journal", "", "append the run journal (JSONL, one event per level/epoch plus checkpoint/retry/degrade/verdict) to this file")
 	)
 	flag.Parse()
 
@@ -114,13 +118,13 @@ func main() {
 	defer stop()
 
 	cfg := specConfig{specName: *specName, nodes: *nodes, maxTerm: *maxTerm, maxLog: *maxLog, actors: *actors, symmetry: *symmetry, por: *por}
-	if err := run(ctx, cfg, *dotPath, *liveness, *workers, *memBudget, *schedule, *arena, *ckDir, *ckEvery, *resume, *deadline); err != nil {
+	if err := run(ctx, cfg, *dotPath, *liveness, *workers, *memBudget, *schedule, *arena, *ckDir, *ckEvery, *resume, *deadline, *progEvery, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "minitlc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, workers int, memBudget int64, schedule string, arena bool, ckDir string, ckEvery int, resume string, deadline time.Duration) error {
+func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, workers int, memBudget int64, schedule string, arena bool, ckDir string, ckEvery int, resume string, deadline time.Duration, progEvery time.Duration, journal string) error {
 	sched, err := tla.ParseSchedule(schedule)
 	if err != nil {
 		return err
@@ -169,6 +173,20 @@ func run(ctx context.Context, cfg specConfig, dotPath string, liveness bool, wor
 	}
 	if deadline > 0 {
 		opts.Deadline = time.Now().Add(deadline)
+	}
+	if progEvery > 0 {
+		// Status goes to stderr only: stdout (verdict, DOT announcements)
+		// stays pipeable. Time-based delivery works under both schedules.
+		opts.Progress = cliobs.NewPrinter(os.Stderr, "minitlc", memBudget).Observe
+		opts.ProgressEvery = progEvery
+	}
+	if journal != "" {
+		jf, err := os.OpenFile(journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		defer jf.Close()
+		opts.JournalWriter = jf
 	}
 	if err := opts.Validate(); err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tla"
 )
 
@@ -80,8 +81,12 @@ type ProgressInfo struct {
 	Transitions  int     `json:"transitions"`
 	Depth        int     `json:"depth"`
 	Level        int     `json:"level"`
+	Frontier     int     `json:"frontier"`
 	StatesPerSec float64 `json:"states_per_sec"`
 	SpillBytes   int64   `json:"spill_bytes"`
+	// ResidentBytes is the engine's estimate of memory charged against the
+	// job's budget; 0 when no budget-tracking store is active.
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 }
 
 // JobStatus is the GET /jobs/{id} body.
@@ -118,6 +123,10 @@ type job struct {
 	errMsg   string
 	outcome  *Outcome
 	cancel   func(error) // non-nil while an attempt runs
+	// reg is the job's metrics registry, created lazily on the first
+	// attempt and shared across retries so counters accumulate over the
+	// job's whole life. Scraped by Supervisor.WriteMetrics while running.
+	reg *obs.Registry
 	// progress bookkeeping: the latest engine snapshot plus the previous
 	// one's (distinct, time) for the states/sec derivative.
 	prog         tla.Progress
@@ -153,11 +162,13 @@ func (j *job) status() JobStatus {
 	}
 	if !j.progAt.IsZero() && j.state == JobRunning {
 		pi := &ProgressInfo{
-			Distinct:    j.prog.Distinct,
-			Transitions: j.prog.Transitions,
-			Depth:       j.prog.Depth,
-			Level:       j.prog.Level,
-			SpillBytes:  j.prog.SpillBytes,
+			Distinct:      j.prog.Distinct,
+			Transitions:   j.prog.Transitions,
+			Depth:         j.prog.Depth,
+			Level:         j.prog.Level,
+			Frontier:      j.prog.Frontier,
+			SpillBytes:    j.prog.SpillBytes,
+			ResidentBytes: j.prog.ResidentBytes,
 		}
 		if dt := j.progAt.Sub(j.prevAt).Seconds(); dt > 0 && !j.prevAt.IsZero() {
 			pi.StatesPerSec = float64(j.prog.Distinct-j.prevDistinct) / dt
@@ -165,6 +176,14 @@ func (j *job) status() JobStatus {
 		st.Progress = pi
 	}
 	return st
+}
+
+// registry returns the job's metrics registry (nil until the first
+// attempt starts; nil registries are safe everywhere in package obs).
+func (j *job) registry() *obs.Registry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reg
 }
 
 // result snapshots the job including its outcome.

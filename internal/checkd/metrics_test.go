@@ -1,0 +1,179 @@
+package checkd
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleLine is the exposition grammar for one sample: a metric name, an
+// optional label set, and a value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (\S+)$`)
+
+// parseExposition validates text against the Prometheus text format the
+// way a scraper would: every sample parses, every sample's family has a
+// preceding TYPE line, no family declares TYPE twice. Returns the set of
+// sample names (with labels) seen.
+func parseExposition(t *testing.T, text string) map[string]bool {
+	t.Helper()
+	typed := map[string]string{}
+	samples := map[string]bool{}
+	var current string
+	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			// HELP is free text after the family name; nothing to validate
+			// beyond the prefix.
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			fam, typ := parts[0], parts[1]
+			if _, dup := typed[fam]; dup {
+				t.Fatalf("line %d: family %s declared TYPE twice (invalid exposition)", i+1, fam)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", i+1, typ)
+			}
+			typed[fam] = typ
+			current = fam
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment %q", i+1, line)
+		default:
+			m := sampleLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample %q", i+1, line)
+			}
+			name, val := m[1], m[3]
+			fam := name
+			if typed[current] == "histogram" {
+				fam = strings.TrimSuffix(fam, "_bucket")
+				fam = strings.TrimSuffix(fam, "_sum")
+				fam = strings.TrimSuffix(fam, "_count")
+			}
+			if fam != current {
+				t.Fatalf("line %d: sample %s outside its family's TYPE block (current %s)", i+1, name, current)
+			}
+			if val != "+Inf" && val != "-Inf" && val != "NaN" {
+				if _, err := strconv.ParseFloat(val, 64); err != nil {
+					t.Fatalf("line %d: value %q: %v", i+1, val, err)
+				}
+			}
+			samples[name+m[2]] = true
+		}
+	}
+	return samples
+}
+
+// TestMetricsExposition drives the acceptance path: a running checkd's
+// GET /metrics must return valid Prometheus text exposition carrying both
+// the process-level checkd_* families and the running job's engine
+// counters scoped by job="<id>".
+func TestMetricsExposition(t *testing.T) {
+	s := newTestSup(t, func(cfg *Config) {
+		cfg.ProgressEvery = 5 * time.Millisecond
+	})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	// A slow job stays running long enough to be scraped mid-flight.
+	res, err := s.Submit(JobRequest{Spec: "slow", Config: SpecParams{Nodes: 40, MaxTerm: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunningProgress(t, s, res.ID, 1)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	samples := parseExposition(t, string(body))
+
+	for _, want := range []string{
+		"checkd_jobs_submitted_total",
+		`checkd_jobs_completed_total{state="done"}`,
+		"checkd_jobs_running",
+		"checkd_queue_depth",
+		"checkd_cache_hits_total",
+		"checkd_cache_misses_total",
+		"checkd_job_retries_total",
+		"checkd_jobs_recovered_total",
+		"checkd_cached_verdicts",
+		// The running job's engine counters, job-scoped. The supervisor
+		// caps engine workers, but worker 0 always exists.
+		`tla_worker_claims_total{job="` + res.ID + `",worker="0"}`,
+		`tla_worker_expansions_total{job="` + res.ID + `",worker="0"}`,
+	} {
+		if !samples[want] {
+			t.Fatalf("missing sample %q in exposition:\n%s", want, body)
+		}
+	}
+
+	if err := s.Cancel(res.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, res.ID, JobCanceled)
+
+	// Terminal jobs drop out of the scrape: only process families remain.
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body2), `job="`+res.ID+`"`) {
+		t.Fatalf("canceled job still scraped:\n%s", body2)
+	}
+}
+
+// TestSupervisorLifecycleCounters pins the process-level counters against
+// a known job sequence: one miss-then-run, one cache hit.
+func TestSupervisorLifecycleCounters(t *testing.T) {
+	s := newTestSup(t, nil)
+	res, err := s.Submit(JobRequest{Spec: "slow", Config: SpecParams{Nodes: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, res.ID, JobDone)
+	hit, err := s.Submit(JobRequest{Spec: "slow", Config: SpecParams{Nodes: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("second submission missed the verdict cache")
+	}
+	reg := s.Metrics()
+	checks := map[string]int64{
+		"checkd_jobs_submitted_total":               2,
+		"checkd_cache_misses_total":                 1,
+		"checkd_cache_hits_total":                   1,
+		`checkd_jobs_completed_total{state="done"}`: 1,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -18,10 +18,14 @@ import (
 //	GET    /jobs/{id}/result status + outcome (null until terminal)
 //	DELETE /jobs/{id}        cancel; 204
 //	GET    /specs            registered spec names
+//	GET    /metrics          Prometheus text exposition: process-level
+//	                         checkd_* families plus each running job's
+//	                         engine tla_* families, scoped by job="id"
 //	GET    /healthz          process liveness, always 200 while serving
 //	GET    /readyz           admission readiness: 503 once draining
 //
-// Every body is JSON; errors are {"error": "..."}.
+// Every body is JSON except /metrics (Prometheus text, version 0.0.4);
+// errors are {"error": "..."}.
 func NewHandler(s *Supervisor) http.Handler {
 	mux := http.NewServeMux()
 
@@ -75,6 +79,11 @@ func NewHandler(s *Supervisor) http.Handler {
 
 	mux.HandleFunc("GET /specs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSONBody(w, http.StatusOK, SpecNames())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w) //nolint:errcheck // the connection is gone; nothing to do
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

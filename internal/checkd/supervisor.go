@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tla"
 )
 
@@ -96,6 +98,11 @@ type Config struct {
 	// MemBudgetPerJob is the default tla.Options.MemoryBudgetBytes for
 	// jobs that do not set their own (0 = resident).
 	MemBudgetPerJob int64
+	// ProgressEvery is the cadence of each running job's progress
+	// snapshots (default 1s). Time-based progress works under both engine
+	// schedulers — the level-boundary callback never fires under
+	// work-stealing — so this is what keeps states/sec live on every job.
+	ProgressEvery time.Duration
 	// FS routes the engine's durable I/O; nil = the real filesystem.
 	// Tests plug a tla.FaultFS here to exercise the retry policies.
 	FS tla.FS
@@ -114,6 +121,18 @@ type Supervisor struct {
 	cache *verdictCache
 	rng   *rand.Rand // jitter; guarded by mu
 
+	// Process-level observability: job lifecycle counters, queue depth and
+	// cache traffic, scraped at GET /metrics together with every running
+	// job's per-job engine registry (WriteMetrics).
+	reg        *obs.Registry
+	mSubmitted *obs.Counter
+	mCompleted map[JobState]*obs.Counter
+	mRunning   *obs.Gauge
+	mCacheHit  *obs.Counter
+	mCacheMiss *obs.Counter
+	mRetries   *obs.Counter
+	mRecovered *obs.Counter
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // job ids in admission order
@@ -122,6 +141,67 @@ type Supervisor struct {
 	seq      int
 
 	wg sync.WaitGroup // worker goroutines
+}
+
+// newSupervisorMetrics registers the checkd_* families on a fresh registry.
+func (s *Supervisor) newSupervisorMetrics() {
+	r := obs.NewRegistry()
+	r.Help("checkd_jobs_submitted_total", "jobs admitted (including cache hits)")
+	s.mSubmitted = r.Counter("checkd_jobs_submitted_total")
+	r.Help("checkd_jobs_completed_total", "jobs reaching a terminal state, by state")
+	s.mCompleted = map[JobState]*obs.Counter{
+		JobDone:     r.Counter(`checkd_jobs_completed_total{state="done"}`),
+		JobFailed:   r.Counter(`checkd_jobs_completed_total{state="failed"}`),
+		JobCanceled: r.Counter(`checkd_jobs_completed_total{state="canceled"}`),
+	}
+	r.Help("checkd_jobs_running", "jobs currently checking")
+	s.mRunning = r.Gauge("checkd_jobs_running")
+	r.Help("checkd_cache_hits_total", "submissions answered from the verdict cache")
+	s.mCacheHit = r.Counter("checkd_cache_hits_total")
+	r.Help("checkd_cache_misses_total", "submissions that required a run")
+	s.mCacheMiss = r.Counter("checkd_cache_misses_total")
+	r.Help("checkd_job_retries_total", "job attempts retried after a retryable failure")
+	s.mRetries = r.Counter("checkd_job_retries_total")
+	r.Help("checkd_jobs_recovered_total", "unfinished jobs re-queued by the startup scan")
+	s.mRecovered = r.Counter("checkd_jobs_recovered_total")
+	r.Help("checkd_queue_depth", "jobs waiting in the admission queue")
+	r.GaugeFunc("checkd_queue_depth", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.queue == nil {
+			return 0
+		}
+		return float64(len(s.queue))
+	})
+	r.Help("checkd_cached_verdicts", "verdicts held by the in-memory cache")
+	r.GaugeFunc("checkd_cached_verdicts", func() float64 { return float64(s.cache.len()) })
+	s.reg = r
+}
+
+// Metrics returns the supervisor's process-level registry.
+func (s *Supervisor) Metrics() *obs.Registry { return s.reg }
+
+// WriteMetrics renders the process registry plus every running job's
+// engine registry (scoped with job="<id>") as one valid Prometheus text
+// exposition.
+func (s *Supervisor) WriteMetrics(w io.Writer) error {
+	parts := []obs.Labeled{{Reg: s.reg}}
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	for _, id := range ids {
+		j, err := s.lookup(id)
+		if err != nil {
+			continue
+		}
+		j.mu.Lock()
+		reg, running := j.reg, j.state == JobRunning
+		j.mu.Unlock()
+		if running && reg != nil {
+			parts = append(parts, obs.Labeled{Key: "job", Value: id, Reg: reg})
+		}
+	}
+	return obs.WritePrometheusMulti(w, parts)
 }
 
 // New builds a Supervisor over cfg.Root, recovers persisted jobs —
@@ -150,6 +230,9 @@ func New(cfg Config) (*Supervisor, error) {
 	if cfg.BackoffCap <= 0 {
 		cfg.BackoffCap = 5 * time.Second
 	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = time.Second
+	}
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
@@ -168,10 +251,12 @@ func New(cfg Config) (*Supervisor, error) {
 		rng:   rand.New(rand.NewSource(cfg.Now().UnixNano())),
 		jobs:  make(map[string]*job),
 	}
+	s.newSupervisorMetrics()
 	pending, err := s.recover()
 	if err != nil {
 		return nil, err
 	}
+	s.mRecovered.Add(int64(len(pending)))
 	// The queue must hold every recovered job plus a full configured
 	// depth of new ones: recovery never drops work.
 	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
@@ -325,6 +410,7 @@ func (s *Supervisor) Submit(req JobRequest) (JobResult, error) {
 	s.seq++
 	id := fmt.Sprintf("j%x-%04d", now.UnixNano(), s.seq)
 	j := &job{id: id, req: req, fp: fp, submitted: now}
+	s.mSubmitted.Inc()
 
 	if out, ok := s.cache.get(fp); ok && !req.Options.NoCache {
 		j.state = JobDone
@@ -332,9 +418,11 @@ func (s *Supervisor) Submit(req JobRequest) (JobResult, error) {
 		j.outcome = out
 		s.jobs[id] = j
 		s.order = append(s.order, id)
+		s.mCacheHit.Inc()
 		s.cfg.Logf("checkd: job %s (%s) served from verdict cache", id, req.Spec)
 		return j.result(), nil
 	}
+	s.mCacheMiss.Inc()
 
 	if len(s.queue) == cap(s.queue) {
 		return JobResult{}, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, cap(s.queue))
@@ -486,7 +574,9 @@ func (s *Supervisor) worker() {
 		if skip {
 			continue
 		}
+		s.mRunning.Add(1)
 		s.runJob(j)
+		s.mRunning.Add(-1)
 	}
 }
 
@@ -506,7 +596,11 @@ func (s *Supervisor) buildOptions(j *job, ctx context.Context, deadline time.Tim
 	opts.Context = ctx
 	opts.Deadline = deadline
 	opts.CheckpointMeta = map[string]string{"job_id": j.id, "spec": j.req.Spec}
+	// Time-based progress (not the level-boundary callback): states/sec
+	// stays live under both engine schedulers.
 	opts.Progress = func(p tla.Progress) { j.observeProgress(p, s.cfg.Now()) }
+	opts.ProgressEvery = s.cfg.ProgressEvery
+	opts.Metrics = j.registry()
 	if resume {
 		opts.ResumeFrom = s.ckDir(j.id)
 	}
@@ -572,6 +666,7 @@ func (s *Supervisor) complete(j *job, state JobState, out *Outcome, errMsg strin
 	j.cancel = nil
 	j.mu.Unlock()
 	s.persistTerminal(j)
+	s.mCompleted[state].Inc()
 	if state == JobDone && out != nil {
 		s.cache.put(j.fp, out)
 	}
@@ -594,6 +689,14 @@ func (s *Supervisor) runJob(j *job) {
 		return
 	}
 	runner := run(j.req.Config)
+
+	// One engine registry per job, shared across its attempts, scraped via
+	// WriteMetrics while the job runs.
+	j.mu.Lock()
+	if j.reg == nil {
+		j.reg = obs.NewRegistry()
+	}
+	j.mu.Unlock()
 
 	// The deadline is armed when the job starts running (not when it was
 	// admitted: queue time is the server's fault, not the client's). A
@@ -676,6 +779,7 @@ func (s *Supervisor) runJob(j *job) {
 				s.complete(j, JobFailed, nil, err.Error())
 				return
 			}
+			s.mRetries.Inc()
 
 		default:
 			// Persistent I/O faults that exhausted the engine's internal
@@ -685,6 +789,7 @@ func (s *Supervisor) runJob(j *job) {
 				s.complete(j, JobFailed, nil, fmt.Sprintf("%d attempts failed; last: %v", attempt, err))
 				return
 			}
+			s.mRetries.Inc()
 			d := s.backoff(attempt)
 			s.cfg.Logf("checkd: job %s attempt %d failed (%v); retrying in %s from %s", j.id, attempt, err,
 				d, checkpointOrScratch(resumePointAfter(s, j)))

@@ -1,0 +1,97 @@
+// Package cliobs is the command-line tools' shared progress glue: it
+// renders the engine's time-based Progress snapshots (and the trace
+// checker's TraceProgress) as one-line status reports on stderr. Status
+// goes to stderr only, newline-terminated, so the CLIs' primary stdout
+// output (verdicts, DOT graphs, JSON) is never corrupted and remains
+// pipeable.
+package cliobs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/tla"
+)
+
+// Printer renders progress snapshots for one tool. The zero value is not
+// usable; construct with NewPrinter. Observe is safe to use as
+// Options.Progress under either delivery contract (it locks internally,
+// and the engine never calls Progress concurrently with itself).
+type Printer struct {
+	w    io.Writer
+	tool string
+	// budget is Options.MemoryBudgetBytes; when positive the status line
+	// includes the remaining headroom before the next spill.
+	budget int64
+
+	mu     sync.Mutex
+	prev   int       // previous snapshot's Distinct
+	prevAt time.Time // and when it was taken, for the states/sec derivative
+	now    func() time.Time
+}
+
+// NewPrinter returns a Printer writing `tool: progress: ...` lines to w
+// (conventionally os.Stderr).
+func NewPrinter(w io.Writer, tool string, budget int64) *Printer {
+	return &Printer{w: w, tool: tool, budget: budget, now: time.Now}
+}
+
+// Observe renders one engine snapshot. States/sec is the derivative
+// against the previous observation, so the first line reports 0.
+func (p *Printer) Observe(prog tla.Progress) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	var rate float64
+	if dt := now.Sub(p.prevAt).Seconds(); !p.prevAt.IsZero() && dt > 0 {
+		rate = float64(prog.Distinct-p.prev) / dt
+	}
+	p.prev, p.prevAt = prog.Distinct, now
+
+	line := fmt.Sprintf("%s: progress: distinct=%d frontier=%d depth=%d states/s=%.0f spill=%s",
+		p.tool, prog.Distinct, prog.Frontier, prog.Depth, rate, Bytes(prog.SpillBytes))
+	if p.budget > 0 {
+		head := p.budget - prog.ResidentBytes
+		if head < 0 {
+			head = 0
+		}
+		line += fmt.Sprintf(" headroom=%s", Bytes(head))
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// ObserveTrace renders one trace-checker snapshot (TraceOptions.Progress).
+func (p *Printer) ObserveTrace(tp tla.TraceProgress) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	var rate float64
+	if dt := now.Sub(p.prevAt).Seconds(); !p.prevAt.IsZero() && dt > 0 {
+		rate = float64(tp.Step-p.prev) / dt
+	}
+	p.prev, p.prevAt = tp.Step, now
+	fmt.Fprintf(p.w, "%s: progress: step=%d/%d frontier=%d steps/s=%.0f\n",
+		p.tool, tp.Step, tp.Total, tp.Frontier, rate)
+}
+
+// Bytes renders a byte count compactly (4.0KiB, 1.2MiB); counts under a
+// kibibyte print as plain integers.
+func Bytes(n int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case n >= gib:
+		return fmt.Sprintf("%.1fGiB", float64(n)/gib)
+	case n >= mib:
+		return fmt.Sprintf("%.1fMiB", float64(n)/mib)
+	case n >= kib:
+		return fmt.Sprintf("%.1fKiB", float64(n)/kib)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JournalVersion is the schema version stamped into every record's "v"
+// field. Bump it when a field changes meaning or an event is renamed —
+// consumers key their parsers on it, the way BENCH_n.json consumers key on
+// schema_version.
+const JournalVersion = 1
+
+// journalRecord is one JSONL line. Fields is a flat map so events can
+// carry event-specific payloads; encoding/json sorts map keys, which keeps
+// the byte layout of a record deterministic for a given field set.
+type journalRecord struct {
+	V      int            `json:"v"`
+	Seq    int64          `json:"seq"`
+	TSMS   int64          `json:"ts_ms"`
+	Event  string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Journal is a structured JSONL event log: one JSON object per line, each
+// with a schema version, a per-journal sequence number, a monotone
+// millisecond timestamp, an event name and an event-specific field map.
+// Emit is safe for concurrent use and safe on a nil receiver (a no-op), so
+// instrumented code never branches on whether a journal was requested.
+//
+// Journal writes never fail the run they observe: the first write error is
+// recorded and every later Emit becomes a no-op; callers that care check
+// Err at the end.
+type Journal struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	seq    int64
+	lastMS int64
+	err    error
+	now    func() time.Time
+}
+
+// NewJournal returns a journal writing JSONL records to w. A nil w yields
+// a nil journal (every Emit a no-op).
+func NewJournal(w io.Writer) *Journal {
+	if w == nil {
+		return nil
+	}
+	return &Journal{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// Emit appends one event. The timestamp is clamped to be monotonically
+// non-decreasing across the journal even if the wall clock steps backward.
+// The fields map is marshaled immediately; the caller may reuse it.
+func (j *Journal) Emit(event string, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	ms := j.now().UnixMilli()
+	if ms < j.lastMS {
+		ms = j.lastMS
+	}
+	j.lastMS = ms
+	j.seq++
+	j.err = j.enc.Encode(journalRecord{
+		V:      JournalVersion,
+		Seq:    j.seq,
+		TSMS:   ms,
+		Event:  event,
+		Fields: fields,
+	})
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

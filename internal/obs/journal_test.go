@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalRecords(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Emit("run_start", map[string]any{"spec": "X", "workers": 3})
+	j.Emit("level", map[string]any{"level": 1})
+	j.Emit("run_end", nil)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var prevTS int64
+	for i, line := range lines {
+		var rec struct {
+			V      int            `json:"v"`
+			Seq    int64          `json:"seq"`
+			TSMS   int64          `json:"ts_ms"`
+			Event  string         `json:"event"`
+			Fields map[string]any `json:"fields"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.V != JournalVersion {
+			t.Fatalf("line %d: v = %d, want %d", i, rec.V, JournalVersion)
+		}
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("line %d: seq = %d, want %d", i, rec.Seq, i+1)
+		}
+		if rec.TSMS < prevTS {
+			t.Fatalf("line %d: ts_ms %d < previous %d", i, rec.TSMS, prevTS)
+		}
+		prevTS = rec.TSMS
+	}
+	var first struct {
+		Event  string         `json:"event"`
+		Fields map[string]any `json:"fields"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Event != "run_start" || first.Fields["spec"] != "X" || first.Fields["workers"] != float64(3) {
+		t.Fatalf("first record = %+v", first)
+	}
+}
+
+func TestJournalMonotoneClamp(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	// Step the clock backward between emits: the journal must clamp.
+	times := []time.Time{
+		time.UnixMilli(5000),
+		time.UnixMilli(3000),
+		time.UnixMilli(7000),
+	}
+	i := 0
+	j.now = func() time.Time { t := times[i]; i++; return t }
+	j.Emit("a", nil)
+	j.Emit("b", nil)
+	j.Emit("c", nil)
+	var got []int64
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			TSMS int64 `json:"ts_ms"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec.TSMS)
+	}
+	want := []int64{5000, 5000, 7000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ts_ms = %v, want %v", got, want)
+		}
+	}
+}
+
+type failAfter struct {
+	n int // writes before failing
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestJournalErrorLatch(t *testing.T) {
+	w := &failAfter{n: 1}
+	j := NewJournal(w)
+	j.Emit("ok", nil)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	j.Emit("fails", nil)
+	err := j.Err()
+	if err == nil || err.Error() != "disk full" {
+		t.Fatalf("Err() = %v, want disk full", err)
+	}
+	// Later emits are no-ops and never write again (the writer would
+	// succeed now if called — n stayed 0 proves it was not).
+	w.n = 0
+	j.Emit("after", nil)
+	if got := j.Err(); got != err {
+		t.Fatalf("Err() changed after latch: %v", got)
+	}
+}
+
+func TestJournalNil(t *testing.T) {
+	if NewJournal(nil) != nil {
+		t.Fatal("NewJournal(nil) must return nil")
+	}
+	var j *Journal
+	j.Emit("x", nil) // must not panic
+	if j.Err() != nil {
+		t.Fatal("nil journal must report no error")
+	}
+}

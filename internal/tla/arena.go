@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // This file implements the retained-state arena: the answer to the memory
@@ -77,12 +78,18 @@ type arenaSeg struct {
 type stateArena struct {
 	budget   int64 // 0 = never spill
 	fsys     FS
+	em       *engineMetrics // nil-safe observability sink
 	meta     []arenaMeta
 	segs     []arenaSeg
 	resident int64 // encoding + edge bytes currently held in memory
 	file     File
 	fileSize int64
 	degraded bool // a persistent spill-write failure switched to live retention of segments
+
+	// spilledAtomic mirrors fileSize for lock-free readers: the arena is
+	// single-owner, but the work-stealing progress ticker samples spill
+	// volume from outside the registration lock.
+	spilledAtomic atomic.Int64
 
 	// Edge recording (Options.RecordGraph + Options.StateArena): graph
 	// edges live in their own segment list of fixed arenaEdgeBytes records,
@@ -94,8 +101,8 @@ type stateArena struct {
 	edgesMono   bool // From values arrived in nondecreasing order (level-sync)
 }
 
-func newStateArena(budget int64, fsys FS) *stateArena {
-	return &stateArena{budget: budget, fsys: resolveFS(fsys), lastFrom: -1, edgesMono: true}
+func newStateArena(budget int64, fsys FS, em *engineMetrics) *stateArena {
+	return &stateArena{budget: budget, fsys: resolveFS(fsys), em: em, lastFrom: -1, edgesMono: true}
 }
 
 // arenaEdgeBytes is the fixed size of one recorded edge: from uint32,
@@ -211,7 +218,7 @@ func (a *stateArena) edgeSegBytes(i int, buf []byte) ([]byte, error) {
 		buf = grown
 	}
 	buf = buf[:lo+seg.size]
-	err := retryIO(func() error {
+	err := a.em.retry("arena", func() error {
 		_, rerr := a.file.ReadAt(buf[lo:], seg.fileOff)
 		return rerr
 	})
@@ -237,7 +244,7 @@ func (a *stateArena) flush() error {
 		return nil
 	}
 	if a.file == nil {
-		err := retryIO(func() error {
+		err := a.em.retry("arena", func() error {
 			f, err := a.fsys.CreateTemp("", "tla-arena-")
 			if err != nil {
 				return err
@@ -247,6 +254,7 @@ func (a *stateArena) flush() error {
 		})
 		if err != nil {
 			a.degraded = true
+			a.em.onDegrade("arena")
 			return nil
 		}
 	}
@@ -256,19 +264,22 @@ func (a *stateArena) flush() error {
 			if seg.spilled {
 				continue
 			}
-			err := retryIO(func() error {
+			err := a.em.retry("arena", func() error {
 				_, werr := a.file.WriteAt(seg.buf[:seg.size], a.fileSize)
 				return werr
 			})
 			if err != nil {
 				a.degraded = true
+				a.em.onDegrade("arena")
 				return nil
 			}
 			seg.fileOff = a.fileSize
 			a.fileSize += int64(seg.size)
+			a.spilledAtomic.Store(a.fileSize)
 			seg.buf = nil
 			seg.spilled = true
 			a.resident -= int64(seg.size)
+			a.em.onArenaSpill(int64(seg.size))
 		}
 	}
 	return nil
@@ -277,6 +288,16 @@ func (a *stateArena) flush() error {
 // degradedMemory reports whether a persistent spill failure forced the
 // arena to retain segments in memory (Result.DegradedMemory).
 func (a *stateArena) degradedMemory() bool { return a.degraded }
+
+// residentBytes reports the encoding and edge bytes currently held in
+// memory — the arena's half of Progress.ResidentBytes. Owner goroutine
+// only, like add/flush.
+func (a *stateArena) residentBytes() int64 { return a.resident }
+
+// spilledBytesAtomic reports the bytes written to the spill file via the
+// lock-free mirror of fileSize — safe from any goroutine, which is what
+// the work-stealing progress ticker needs.
+func (a *stateArena) spilledBytesAtomic() int64 { return a.spilledAtomic.Load() }
 
 // encoding appends state id's canonical encoding to buf and returns the
 // extended slice — always a copy, never an alias of a resident segment,
@@ -298,7 +319,7 @@ func (a *stateArena) encoding(id int, buf []byte) ([]byte, error) {
 	// A spilled encoding is required reading — traces and checkpoints are
 	// built from it — so transient errors retry and persistent ones fail
 	// explicitly rather than risk a wrong answer.
-	err := retryIO(func() error {
+	err := a.em.retry("arena", func() error {
 		_, rerr := a.file.ReadAt(buf[lo:], seg.fileOff+int64(m.off))
 		return rerr
 	})
@@ -323,7 +344,7 @@ func (a *stateArena) segBytes(i int, buf []byte) ([]byte, error) {
 		buf = grown
 	}
 	buf = buf[:lo+seg.size]
-	err := retryIO(func() error {
+	err := a.em.retry("arena", func() error {
 		_, rerr := a.file.ReadAt(buf[lo:], seg.fileOff)
 		return rerr
 	})
@@ -369,12 +390,12 @@ type retainer[S State] struct {
 	live map[int]S
 }
 
-func newRetainer[S State](spec *Spec[S], opts Options) *retainer[S] {
+func newRetainer[S State](spec *Spec[S], opts Options, em *engineMetrics) *retainer[S] {
 	if !opts.StateArena {
 		return &retainer[S]{}
 	}
 	r := &retainer[S]{
-		arena:  newStateArena(opts.MemoryBudgetBytes, opts.FS),
+		arena:  newStateArena(opts.MemoryBudgetBytes, opts.FS, em),
 		acts:   []string{""},
 		actIdx: map[string]uint16{"": 0},
 		live:   map[int]S{},

@@ -119,7 +119,7 @@ func BenchmarkArenaGraph(b *testing.B) {
 				var before, after runtime.MemStats
 				runtime.GC()
 				runtime.ReadMemStats(&before)
-				ret := newRetainer(spec, Options{StateArena: true, MemoryBudgetBytes: mode.budget})
+				ret := newRetainer(spec, Options{StateArena: true, MemoryBudgetBytes: mode.budget}, nil)
 				ret.arena.recordEdges = true
 				var encBuf []byte
 				for j := 0; j < n; j++ {
@@ -163,7 +163,7 @@ func BenchmarkArenaRetention(b *testing.B) {
 				var before, after runtime.MemStats
 				runtime.GC()
 				runtime.ReadMemStats(&before)
-				ret := newRetainer(spec, Options{StateArena: mode.arena})
+				ret := newRetainer(spec, Options{StateArena: mode.arena}, nil)
 				var encBuf []byte
 				for j := 0; j < n; j++ {
 					s := mkHeavyState(j)

@@ -16,7 +16,7 @@ import (
 func TestArenaRoundTrip(t *testing.T) {
 	for _, budget := range []int64{0, 1, 1 << 10} {
 		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
-			a := newStateArena(budget, nil)
+			a := newStateArena(budget, nil, nil)
 			defer a.close()
 			rng := rand.New(rand.NewSource(1))
 			var want [][]byte
@@ -57,7 +57,7 @@ func TestArenaRoundTrip(t *testing.T) {
 // larger than a whole segment still round-trips, resident and spilled.
 func TestArenaOversizedEncoding(t *testing.T) {
 	for _, budget := range []int64{0, 1} {
-		a := newStateArena(budget, nil)
+		a := newStateArena(budget, nil, nil)
 		big := bytes.Repeat([]byte{0xAB}, arenaSegBytes+17)
 		if err := a.add([]byte("small"), -1, 0, 0); err != nil {
 			t.Fatal(err)
@@ -80,7 +80,7 @@ func TestArenaOversizedEncoding(t *testing.T) {
 // one-byte budget spills every segment, the spill file exists during the
 // run, and close removes it.
 func TestArenaSpillFileLifecycle(t *testing.T) {
-	a := newStateArena(1, nil)
+	a := newStateArena(1, nil, nil)
 	if err := a.add([]byte("abc"), -1, 0, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestArenaSpillFileLifecycle(t *testing.T) {
 		t.Fatalf("spill file survived close: stat err = %v", err)
 	}
 	// Closing a never-spilled arena is a no-op.
-	if err := newStateArena(0, nil).close(); err != nil {
+	if err := newStateArena(0, nil, nil).close(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -108,6 +108,7 @@ type ckManifest struct {
 // the next manifest rename lands.
 type checkpointer struct {
 	fsys FS
+	em   *engineMetrics // nil-safe observability sink
 	dir  string
 	gen  int
 	prev []string
@@ -176,7 +177,7 @@ func writeCheckpoint[S State](ck *checkpointer, spec *Spec[S], opts Options, ret
 		return "", fmt.Errorf("tla: visited store %T cannot be checkpointed", vs)
 	}
 	fsys := ck.fsys
-	if err := retryIO(func() error { return fsys.MkdirAll(ck.dir) }); err != nil {
+	if err := ck.em.retry("checkpoint", func() error { return fsys.MkdirAll(ck.dir) }); err != nil {
 		return "", err
 	}
 	prefix := fmt.Sprintf("g%06d-", ck.gen)
@@ -188,13 +189,13 @@ func writeCheckpoint[S State](ck *checkpointer, spec *Spec[S], opts Options, ret
 	}
 
 	metaName := prefix + "arena.meta"
-	if err := retryIO(func() error { return writeArenaMeta(fsys, filepath.Join(ck.dir, metaName), a.meta) }); err != nil {
+	if err := ck.em.retry("checkpoint", func() error { return writeArenaMeta(fsys, filepath.Join(ck.dir, metaName), a.meta) }); err != nil {
 		return "", err
 	}
 	files = append(files, metaName)
 
 	dataName := prefix + "arena.data"
-	if err := retryIO(func() error { return writeArenaData(fsys, filepath.Join(ck.dir, dataName), a) }); err != nil {
+	if err := ck.em.retry("checkpoint", func() error { return writeArenaData(fsys, filepath.Join(ck.dir, dataName), a) }); err != nil {
 		cleanup()
 		return "", err
 	}
@@ -203,7 +204,7 @@ func writeCheckpoint[S State](ck *checkpointer, spec *Spec[S], opts Options, ret
 	var edgesName string
 	if a.recordEdges {
 		edgesName = prefix + "arena.edges"
-		if err := retryIO(func() error { return writeArenaEdges(fsys, filepath.Join(ck.dir, edgesName), a) }); err != nil {
+		if err := ck.em.retry("checkpoint", func() error { return writeArenaEdges(fsys, filepath.Join(ck.dir, edgesName), a) }); err != nil {
 			cleanup()
 			return "", err
 		}
@@ -264,13 +265,13 @@ func writeCheckpoint[S State](ck *checkpointer, spec *Spec[S], opts Options, ret
 	}
 	blob = append(blob, '\n')
 	tmp := filepath.Join(ck.dir, ckManifestName+".tmp")
-	if err := retryIO(func() error { return writeFileFS(fsys, tmp, blob) }); err != nil {
+	if err := ck.em.retry("checkpoint", func() error { return writeFileFS(fsys, tmp, blob) }); err != nil {
 		cleanup()
 		return "", err
 	}
 	// The rename is the commit point: before it the old manifest (and its
 	// generation) is the checkpoint, after it the new one is.
-	if err := retryIO(func() error { return fsys.Rename(tmp, filepath.Join(ck.dir, ckManifestName)) }); err != nil {
+	if err := ck.em.retry("checkpoint", func() error { return fsys.Rename(tmp, filepath.Join(ck.dir, ckManifestName)) }); err != nil {
 		fsys.Remove(tmp)
 		cleanup()
 		return "", err

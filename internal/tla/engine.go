@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The exploration engine is a level-synchronized BFS in the style of TLC's
@@ -43,6 +44,7 @@ type candidate[S State] struct {
 
 // chunkOut is the ordered output of expanding one contiguous frontier chunk.
 type chunkOut[S State] struct {
+	worker   int // the worker that expanded the chunk (metrics attribution)
 	cands    []candidate[S]
 	perState []int // successor count per frontier state of the chunk
 	// ample is only appended under partial-order reduction: per frontier
@@ -137,7 +139,7 @@ func (p chunkPlan) run(fn func(worker, chunk, lo, hi int)) {
 // runEngine is the unified level-synchronized exploration loop behind
 // Check: one implementation for every worker count and store combination.
 // (ScheduleWorkSteal runs the barrier-free loop in schedule.go instead.)
-func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStore, fr FrontierStore) (res *Result[S], err error) {
+func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStore, fr FrontierStore, em *engineMetrics) (res *Result[S], err error) {
 	res = &Result[S]{Spec: spec.Name}
 	if opts.RecordGraph {
 		res.Graph = &Graph[S]{}
@@ -152,7 +154,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	for w := 1; w < workers; w++ {
 		wcods[w] = cod.clone()
 	}
-	ret := newRetainer(spec, opts)
+	ret := newRetainer(spec, opts, em)
 
 	// Partial-order reduction resolves here: the run must ask and the spec
 	// must declare. Result.PartialOrder reports the resolution so CLIs can
@@ -163,7 +165,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	if ind != nil {
 		porScr = make([]porScratch[S], workers)
 		for i := range porScr {
-			porScr[i].planner = newPORPlanner(ind)
+			porScr[i].planner = newPORPlanner(ind, em)
 		}
 	}
 
@@ -218,7 +220,27 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 			err = specPanicError(spec, cod, ret, pi)
 		}
 	}()
+	// Worker-counter attribution for the merge phase: the deltas of
+	// (Transitions, Distinct) accumulated while replaying one chunk are
+	// credited to the worker that expanded it — counted exactly where the
+	// Result counters move, which is what pins Σexpansions == Transitions
+	// and Σclaims == Distinct. The flush also runs from the finalize defer,
+	// so early exits (violation, error, interrupt) attribute their partial
+	// chunk too.
+	var emAttr struct {
+		active             bool
+		worker             int
+		expBase, claimBase int
+	}
+	emFlush := func() {
+		if !emAttr.active {
+			return
+		}
+		em.addWorker(emAttr.worker, int64(res.Transitions-emAttr.expBase), int64(ret.len()-emAttr.claimBase))
+		emAttr.active = false
+	}
 	defer func() {
+		emFlush()
 		res.Distinct = ret.len()
 		if d, ok := vs.(interface{ degradedMemory() bool }); ok && d.degradedMemory() {
 			res.DegradedMemory = true
@@ -231,6 +253,16 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	var ck *checkpointer
 	if opts.CheckpointDir != "" {
 		ck = newCheckpointer(opts)
+		ck.em = em
+	}
+
+	// checkpoint wraps writeCheckpoint with the duration histogram and the
+	// journal's checkpoint event.
+	checkpoint := func(frontier []int, level int) (string, error) {
+		start := time.Now()
+		path, cerr := writeCheckpoint(ck, spec, opts, ret, vs, res, frontier, level)
+		em.onCheckpoint(level, path, time.Since(start), cerr)
+		return path, cerr
 	}
 
 	// interrupted finishes an interrupted run: the partial counters stay in
@@ -243,7 +275,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		res.Interrupted = true
 		ierr := st.err()
 		if ck != nil {
-			path, cerr := writeCheckpoint(ck, spec, opts, ret, vs, res, frontier, level)
+			path, cerr := checkpoint(frontier, level)
 			if cerr != nil {
 				return res, errors.Join(ierr, fmt.Errorf("tla: writing checkpoint: %w", cerr))
 			}
@@ -335,6 +367,10 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 			return res, rerr
 		}
 		level = lvl
+		// Seed worker 0 with the restored counters so the metrics-vs-Result
+		// identities (Σexpansions == Transitions, Σclaims == Distinct) hold
+		// across a resume as well.
+		em.addWorker(0, int64(res.Transitions), int64(ret.len()))
 	} else {
 		mg.enter(opInit, "", -1)
 		inits := spec.Init()
@@ -371,6 +407,9 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		if err := vs.EndLevel(); err != nil {
 			return res, err
 		}
+		// Initial states are claimed on the merge goroutine, which the
+		// worker-counter attribution credits to worker 0.
+		em.addWorker(0, 0, int64(ret.len()))
 	}
 	startLevel := level
 
@@ -378,12 +417,27 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 	// steady exploration stops allocating candidate storage once the
 	// widest level has grown them.
 	var pool chunkPool[S]
-	// report delivers one Options.Progress snapshot at a level boundary.
-	// It runs on the merge goroutine, so the counters it reads are settled;
-	// spill pressure sums the visited store's sealed runs and the arena's
-	// spill file, both of which only grow on this goroutine too.
+	// Time-based progress: the merge goroutine publishes each level
+	// boundary's snapshot into snap, and a dedicated ticker goroutine
+	// delivers it to Options.Progress every ProgressEvery. The per-level
+	// delivery below is disabled then, so Progress never runs concurrently
+	// with itself.
+	var snap *progressSnap
+	if opts.ProgressEvery > 0 {
+		snap = &progressSnap{}
+		ticker := startProgressTicker(opts.ProgressEvery, func() {
+			if opts.Progress != nil {
+				opts.Progress(snap.load())
+			}
+		})
+		defer ticker.stop()
+	}
+	// report publishes one snapshot at a level boundary. It runs on the
+	// merge goroutine, so the counters it reads are settled; spill pressure
+	// sums the visited store's sealed runs and the arena's spill file, both
+	// of which only grow on this goroutine too.
 	report := func(frontier []int, level int) {
-		if opts.Progress == nil {
+		if opts.Progress == nil && snap == nil && em == nil {
 			return
 		}
 		p := Progress{
@@ -396,10 +450,20 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		if sb, ok := vs.(interface{ spilledBytes() int64 }); ok {
 			p.SpillBytes += sb.spilledBytes()
 		}
+		if rb, ok := vs.(interface{ residentBytes() int64 }); ok {
+			p.ResidentBytes += rb.residentBytes()
+		}
 		if ret.arena != nil {
 			p.SpillBytes += ret.arena.fileSize
+			p.ResidentBytes += ret.arena.residentBytes()
 		}
-		opts.Progress(p)
+		if snap != nil {
+			snap.store(p)
+		}
+		em.journalLevel(p)
+		if opts.Progress != nil && opts.ProgressEvery == 0 {
+			opts.Progress(p)
+		}
 	}
 	for {
 		frontier := fr.NextLevel()
@@ -410,16 +474,17 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		if len(frontier) == 0 {
 			break
 		}
+		em.observeLevelWidth(len(frontier))
 		if ck != nil && opts.CheckpointEvery > 0 && level > startLevel && (level-startLevel)%opts.CheckpointEvery == 0 {
 			// A periodic checkpoint failing is an explicit failure, not a
 			// silent skip: the user asked for durability.
-			path, cerr := writeCheckpoint(ck, spec, opts, ret, vs, res, frontier, level)
+			path, cerr := checkpoint(frontier, level)
 			if cerr != nil {
 				return res, fmt.Errorf("tla: writing checkpoint: %w", cerr)
 			}
 			res.CheckpointPath = path
 		}
-		outs := expandFrontier(spec, wcods, ret, frontier, vs, &pool, &ctl, porScr)
+		outs := expandFrontier(spec, wcods, ret, frontier, vs, &pool, &ctl, porScr, em)
 		if pi := ctl.takePanic(); pi != nil {
 			return res, specPanicError(spec, cod, ret, pi)
 		}
@@ -463,6 +528,8 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 		fi := 0 // index into frontier, across chunk boundaries
 		for oi := range outs {
 			out := &outs[oi]
+			emAttr.active, emAttr.worker = em != nil, out.worker
+			emAttr.expBase, emAttr.claimBase = res.Transitions, ret.len()
 			ci := 0
 			for si, n := range out.perState {
 				id := frontier[fi]
@@ -514,6 +581,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 				if pruned && ampleOK {
 					res.AmpleStates++
 					res.DeferredTransitions += n - k
+					em.onAmple(n - k)
 				} else {
 					for j := k; j < n; j++ {
 						viol, aerr := doCand(out.cands[ci+j], id, depth)
@@ -528,6 +596,7 @@ func runEngine[S State](spec *Spec[S], opts Options, workers int, vs VisitedStor
 				}
 				ci += n
 			}
+			emFlush()
 		}
 		pool.free(outs)
 		// The level's frontier states are fully expanded: the arena drops
@@ -618,7 +687,7 @@ func (p *chunkPool[S]) free(outs []chunkOut[S]) {
 // satisfies the cycle proviso and whether the deferred remainder is
 // processed or skipped — so POR results stay deterministic across worker
 // counts just like everything else on this path.
-func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S], frontier []int, vs VisitedStore, pool *chunkPool[S], ctl *runControl, porScr []porScratch[S]) []chunkOut[S] {
+func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S], frontier []int, vs VisitedStore, pool *chunkPool[S], ctl *runControl, porScr []porScratch[S], em *engineMetrics) []chunkOut[S] {
 	plan := planChunks(len(frontier), len(wcods))
 	outs := make([]chunkOut[S], plan.nChunks)
 	pool.seed(outs)
@@ -631,6 +700,7 @@ func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S],
 		}()
 		wcod := wcods[w]
 		out := outs[c] // recycled buffers (or nil), length 0
+		out.worker = w
 		emit := func(succ S, act string, id int) {
 			g.enter(opEncode, act, id)
 			cenc := wcod.canonical(succ)
@@ -658,6 +728,7 @@ func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S],
 					}
 				}
 				out.perState = append(out.perState, len(out.cands)-before)
+				em.observeFanout(len(out.cands) - before)
 				continue
 			}
 			// POR path: generate everything first — terminal detection and
@@ -723,6 +794,7 @@ func expandFrontier[S State](spec *Spec[S], wcods []*codec[S], ret *retainer[S],
 			}
 			out.perState = append(out.perState, len(out.cands)-before)
 			out.ample = append(out.ample, k)
+			em.observeFanout(len(out.cands) - before)
 		}
 		outs[c] = out
 	})

@@ -1,0 +1,449 @@
+package tla
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// engineMetrics bundles one run's observability sinks: the obs handles
+// resolved from Options.Metrics and the JSONL journal built on
+// Options.JournalWriter. A nil *engineMetrics is the uninstrumented run —
+// every method is nil-receiver safe and every handle method is nil-safe in
+// turn, so the engine's hot paths call them unconditionally and pay one
+// predictable branch when observability is off.
+//
+// Handles are resolved once, here, at run start: the hot paths never touch
+// the registry's maps or locks.
+type engineMetrics struct {
+	journal *obs.Journal
+
+	// per-worker counters, indexed by worker id; their sums are pinned to
+	// Result.Transitions and Result.Distinct by the consistency tests.
+	workerExpansions []*obs.Counter
+	workerClaims     []*obs.Counter
+
+	levelWidth    *obs.Histogram
+	fanout        *obs.Histogram
+	mergeDur      *obs.Histogram
+	checkpointDur *obs.Histogram
+
+	steals       *obs.Counter
+	stealFails   *obs.Counter
+	dequePending *obs.Gauge
+
+	runSeals    *obs.Counter
+	mergeJoins  *obs.Counter
+	compactions *obs.Counter
+	spillBytes  *obs.Counter
+
+	arenaSegSpills    *obs.Counter
+	arenaSpilledBytes *obs.Counter
+
+	ampleStates         *obs.Counter
+	deferredTransitions *obs.Counter
+	porRejects          *obs.Counter
+
+	ioRetries  *obs.Counter
+	ioDegrades *obs.Counter
+}
+
+// newEngineMetrics resolves the run's handles. Returns nil — the
+// uninstrumented run — when neither a registry nor a journal was requested.
+func newEngineMetrics(opts Options, workers int) *engineMetrics {
+	reg := opts.Metrics
+	if reg == nil && opts.JournalWriter == nil {
+		return nil
+	}
+	m := &engineMetrics{journal: obs.NewJournal(opts.JournalWriter)}
+	if reg == nil {
+		return m
+	}
+	reg.Help("tla_worker_expansions_total", "transitions examined, per engine worker; sums to Result.Transitions")
+	reg.Help("tla_worker_claims_total", "distinct states first claimed, per engine worker; sums to Result.Distinct")
+	m.workerExpansions = make([]*obs.Counter, workers)
+	m.workerClaims = make([]*obs.Counter, workers)
+	for w := 0; w < workers; w++ {
+		m.workerExpansions[w] = reg.Counter(fmt.Sprintf(`tla_worker_expansions_total{worker="%d"}`, w))
+		m.workerClaims[w] = reg.Counter(fmt.Sprintf(`tla_worker_claims_total{worker="%d"}`, w))
+	}
+
+	reg.Help("tla_level_width", "states per BFS level (level-synchronized runs)")
+	m.levelWidth = reg.Histogram("tla_level_width", obs.ExpBuckets(1, 2, 21))
+	reg.Help("tla_successor_fanout", "successors per expanded state")
+	m.fanout = reg.Histogram("tla_successor_fanout", obs.ExpBuckets(1, 2, 9))
+	durBuckets := obs.ExpBuckets(0.001, 10, 5) // 1ms .. 10s
+	reg.Help("tla_spill_merge_seconds", "per-level merge-join of spilled visited runs")
+	m.mergeDur = reg.Histogram("tla_spill_merge_seconds", durBuckets)
+	reg.Help("tla_checkpoint_seconds", "checkpoint write duration")
+	m.checkpointDur = reg.Histogram("tla_checkpoint_seconds", durBuckets)
+
+	reg.Help("tla_steals_total", "successful steal-half operations (work-stealing schedule)")
+	m.steals = reg.Counter("tla_steals_total")
+	reg.Help("tla_steal_fails_total", "steal attempts that found every victim deque empty")
+	m.stealFails = reg.Counter("tla_steal_fails_total")
+	reg.Help("tla_deque_pending", "work items pending across all deques (sampled)")
+	m.dequePending = reg.Gauge("tla_deque_pending")
+
+	reg.Help("tla_spill_run_seals_total", "visited-store shards sealed into sorted on-disk runs")
+	m.runSeals = reg.Counter("tla_spill_run_seals_total")
+	reg.Help("tla_spill_merge_joins_total", "on-disk runs merge-joined against a level's fresh claims")
+	m.mergeJoins = reg.Counter("tla_spill_merge_joins_total")
+	reg.Help("tla_spill_compactions_total", "multi-run compactions of the spilled visited set")
+	m.compactions = reg.Counter("tla_spill_compactions_total")
+	reg.Help("tla_spill_bytes_sealed_total", "bytes of visited-set runs sealed to disk")
+	m.spillBytes = reg.Counter("tla_spill_bytes_sealed_total")
+
+	reg.Help("tla_arena_segment_spills_total", "retained-state arena segments written to the spill file")
+	m.arenaSegSpills = reg.Counter("tla_arena_segment_spills_total")
+	reg.Help("tla_arena_spilled_bytes_total", "bytes of arena segments written to the spill file")
+	m.arenaSpilledBytes = reg.Counter("tla_arena_spilled_bytes_total")
+
+	reg.Help("tla_por_ample_states_total", "expanded states at which an ample subset was kept")
+	m.ampleStates = reg.Counter("tla_por_ample_states_total")
+	reg.Help("tla_por_deferred_transitions_total", "transitions skipped by ample-set pruning")
+	m.deferredTransitions = reg.Counter("tla_por_deferred_transitions_total")
+	reg.Help("tla_por_planner_rejects_total", "multi-process states the ample planner declined to prune")
+	m.porRejects = reg.Counter("tla_por_planner_rejects_total")
+
+	reg.Help("tla_io_retries_total", "transient durable-I/O errors retried with backoff")
+	m.ioRetries = reg.Counter("tla_io_retries_total")
+	reg.Help("tla_io_degrades_total", "persistent spill failures that degraded the run to resident retention")
+	m.ioDegrades = reg.Counter("tla_io_degrades_total")
+	return m
+}
+
+// addWorker credits a worker with expansion and distinct-claim deltas —
+// how the level-synchronized merge attributes its per-chunk counts.
+func (m *engineMetrics) addWorker(w int, expansions, claims int64) {
+	if m == nil || m.workerExpansions == nil {
+		return
+	}
+	m.workerExpansions[w].Add(expansions)
+	m.workerClaims[w].Add(claims)
+}
+
+// workerExpansion / workerClaim return a worker's counter handle (nil when
+// uninstrumented) — the work-stealing loop resolves them per worker once.
+func (m *engineMetrics) workerExpansion(w int) *obs.Counter {
+	if m == nil || m.workerExpansions == nil {
+		return nil
+	}
+	return m.workerExpansions[w]
+}
+
+func (m *engineMetrics) workerClaim(w int) *obs.Counter {
+	if m == nil || m.workerClaims == nil {
+		return nil
+	}
+	return m.workerClaims[w]
+}
+
+func (m *engineMetrics) observeLevelWidth(n int) {
+	if m == nil {
+		return
+	}
+	m.levelWidth.Observe(float64(n))
+}
+
+func (m *engineMetrics) observeFanout(n int) {
+	if m == nil {
+		return
+	}
+	m.fanout.Observe(float64(n))
+}
+
+// onSteal / onStealFail record one steal-half success or one full sweep of
+// empty victim deques (work-stealing schedule).
+func (m *engineMetrics) onSteal() {
+	if m == nil {
+		return
+	}
+	m.steals.Inc()
+}
+
+func (m *engineMetrics) onStealFail() {
+	if m == nil {
+		return
+	}
+	m.stealFails.Inc()
+}
+
+// setDequePending samples the pending work-item count into the gauge.
+func (m *engineMetrics) setDequePending(n int64) {
+	if m == nil {
+		return
+	}
+	m.dequePending.Set(n)
+}
+
+// onRunSeal records one visited-store shard sealed into an on-disk run.
+func (m *engineMetrics) onRunSeal(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.runSeals.Inc()
+	m.spillBytes.Add(bytes)
+}
+
+// onMergeJoins records a level's merge-join pass over the sealed runs.
+func (m *engineMetrics) onMergeJoins(runs int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mergeJoins.Add(int64(runs))
+	m.mergeDur.Observe(d.Seconds())
+}
+
+func (m *engineMetrics) onCompaction() {
+	if m == nil {
+		return
+	}
+	m.compactions.Inc()
+}
+
+// onArenaSpill records one arena segment written to the spill file.
+func (m *engineMetrics) onArenaSpill(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.arenaSegSpills.Inc()
+	m.arenaSpilledBytes.Add(bytes)
+}
+
+// porRejectCounter hands the ample planner its shared reject counter (nil
+// when uninstrumented).
+func (m *engineMetrics) porRejectCounter() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.porRejects
+}
+
+// onAmple records one ample-set prune: the state kept a proper subset and
+// deferred n transitions.
+func (m *engineMetrics) onAmple(deferred int) {
+	if m == nil {
+		return
+	}
+	m.ampleStates.Inc()
+	m.deferredTransitions.Add(int64(deferred))
+}
+
+// onDegrade records a persistent spill failure that switched subsystem
+// ("spill" or "arena") to resident retention.
+func (m *engineMetrics) onDegrade(subsystem string) {
+	if m == nil {
+		return
+	}
+	m.ioDegrades.Inc()
+	m.journal.Emit("degrade", map[string]any{"subsystem": subsystem})
+}
+
+// retry runs op through the engine's transient-I/O retry loop, counting
+// and journaling each retried attempt for subsystem sys.
+func (m *engineMetrics) retry(sys string, op func() error) error {
+	if m == nil {
+		return retryIO(op)
+	}
+	return retryIONotify(op, func(attempt int, err error) {
+		m.ioRetries.Inc()
+		m.journal.Emit("retry", map[string]any{
+			"subsystem": sys,
+			"attempt":   attempt,
+			"error":     err.Error(),
+		})
+	})
+}
+
+// onCheckpoint records one checkpoint write.
+func (m *engineMetrics) onCheckpoint(level int, path string, d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.checkpointDur.Observe(d.Seconds())
+	f := map[string]any{"level": level, "seconds": d.Seconds()}
+	if err != nil {
+		f["error"] = err.Error()
+	} else {
+		f["path"] = path
+	}
+	m.journal.Emit("checkpoint", f)
+}
+
+// journalStart emits the run_start event.
+func (m *engineMetrics) journalStart(spec string, schedule Schedule, workers int, por bool) {
+	if m == nil {
+		return
+	}
+	m.journal.Emit("run_start", map[string]any{
+		"spec":          spec,
+		"schedule":      schedule.String(),
+		"workers":       workers,
+		"partial_order": por,
+	})
+}
+
+// journalLevel emits one level event of a level-synchronized run.
+func (m *engineMetrics) journalLevel(p Progress) {
+	if m == nil {
+		return
+	}
+	m.journal.Emit("level", map[string]any{
+		"level":       p.Level,
+		"width":       p.Frontier,
+		"distinct":    p.Distinct,
+		"transitions": p.Transitions,
+		"depth":       p.Depth,
+		"spill_bytes": p.SpillBytes,
+	})
+}
+
+// journalEpoch emits one ticker epoch of a work-stealing run.
+func (m *engineMetrics) journalEpoch(p Progress) {
+	if m == nil {
+		return
+	}
+	m.journal.Emit("epoch", map[string]any{
+		"distinct":    p.Distinct,
+		"transitions": p.Transitions,
+		"depth":       p.Depth,
+		"pending":     p.Frontier,
+		"spill_bytes": p.SpillBytes,
+	})
+}
+
+// journalEnd emits the terminal run_end event with the run's verdict:
+// "violation", "interrupted", "error" or "ok".
+func (m *engineMetrics) journalEnd(res *resultCore, err error) {
+	if m == nil {
+		return
+	}
+	verdict := "ok"
+	switch {
+	case res.violation:
+		verdict = "violation"
+	case res.interrupted:
+		verdict = "interrupted"
+	case err != nil:
+		verdict = "error"
+	}
+	f := map[string]any{
+		"verdict":     verdict,
+		"distinct":    res.distinct,
+		"transitions": res.transitions,
+		"depth":       res.depth,
+		"degraded":    res.degraded,
+	}
+	if err != nil && !res.violation {
+		f["error"] = err.Error()
+	}
+	m.journal.Emit("run_end", f)
+}
+
+// resultCore is the scheduler-agnostic slice of a Result the journal's
+// terminal event needs — Result itself is generic over S.
+type resultCore struct {
+	distinct, transitions, depth int
+	violation                    bool
+	interrupted                  bool
+	degraded                     bool
+}
+
+func coreOf[S State](res *Result[S]) *resultCore {
+	return &resultCore{
+		distinct:    res.Distinct,
+		transitions: res.Transitions,
+		depth:       res.Depth,
+		violation:   res.Violation != nil,
+		interrupted: res.Interrupted,
+		degraded:    res.DegradedMemory,
+	}
+}
+
+// progressSnap is the lock-free snapshot a ProgressEvery ticker reads. The
+// level-synchronized merge goroutine stores into it at level boundaries;
+// the work-stealing workers update distinct/transitions/depth live.
+type progressSnap struct {
+	distinct    atomic.Int64
+	transitions atomic.Int64
+	depth       atomic.Int64
+	level       atomic.Int64
+	frontier    atomic.Int64
+	spillBytes  atomic.Int64
+	resident    atomic.Int64
+}
+
+func (s *progressSnap) store(p Progress) {
+	s.distinct.Store(int64(p.Distinct))
+	s.transitions.Store(int64(p.Transitions))
+	s.depth.Store(int64(p.Depth))
+	s.level.Store(int64(p.Level))
+	s.frontier.Store(int64(p.Frontier))
+	s.spillBytes.Store(p.SpillBytes)
+	s.resident.Store(p.ResidentBytes)
+}
+
+func (s *progressSnap) load() Progress {
+	return Progress{
+		Distinct:      int(s.distinct.Load()),
+		Transitions:   int(s.transitions.Load()),
+		Depth:         int(s.depth.Load()),
+		Level:         int(s.level.Load()),
+		Frontier:      int(s.frontier.Load()),
+		SpillBytes:    s.spillBytes.Load(),
+		ResidentBytes: s.resident.Load(),
+	}
+}
+
+// maxDepth raises the snapshot's depth watermark (work-stealing workers
+// discover depths out of order).
+func (s *progressSnap) maxDepth(d int) {
+	for {
+		cur := s.depth.Load()
+		if int64(d) <= cur || s.depth.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// progressTicker drives time-based Progress delivery. Its goroutine owns
+// every fire() call, so Options.Progress never runs concurrently with
+// itself; stop() fires once more before returning so a run shorter than
+// the period still reports a final snapshot.
+type progressTicker struct {
+	fire func()
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func startProgressTicker(every time.Duration, fire func()) *progressTicker {
+	t := &progressTicker{fire: fire, done: make(chan struct{})}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fire()
+			case <-t.done:
+				return
+			}
+		}
+	}()
+	return t
+}
+
+func (t *progressTicker) stop() {
+	if t == nil {
+		return
+	}
+	close(t.done)
+	t.wg.Wait()
+	t.fire()
+}

@@ -1,5 +1,7 @@
 package tla
 
+import "repro/internal/obs"
+
 // Partial-order reduction (ample-set successor pruning), the classic
 // state-space lever that composes with — rather than competes against —
 // symmetry reduction and both scheduling modes.
@@ -110,13 +112,19 @@ type porPlanner[S State] struct {
 	counts   []int // per process: owned transition count
 	vetoed   []bool
 	hasFresh []bool // per process: owns a transition to an unvisited state
+
+	// rejects counts the states where the planner examined a multi-process,
+	// multi-successor state and still elected no process — the signal that
+	// a declaration isn't biting. Shared across workers (obs counters are
+	// atomic and nil-safe), resolved once at run start.
+	rejects *obs.Counter
 }
 
-func newPORPlanner[S State](ind *Independence[S]) *porPlanner[S] {
+func newPORPlanner[S State](ind *Independence[S], em *engineMetrics) *porPlanner[S] {
 	if ind == nil {
 		return nil
 	}
-	return &porPlanner[S]{ind: ind}
+	return &porPlanner[S]{ind: ind, rejects: em.porRejectCounter()}
 }
 
 // choose picks the ample process for state s with successors succs (acts
@@ -208,6 +216,9 @@ func (p *porPlanner[S]) choose(s S, succs []S, acts []int, fresh []bool, g *spec
 		if best < 0 || p.counts[proc] < p.counts[best] {
 			best = proc
 		}
+	}
+	if best < 0 {
+		p.rejects.Inc()
 	}
 	return best
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file implements the engine's second scheduling mode. The default
@@ -277,6 +279,13 @@ type wsEngine[S State] struct {
 	stop    atomic.Bool
 	pending atomic.Int64 // queued-but-unexpanded items, for termination
 	deques  []wsDeque
+
+	// em is the run's observability sink (nil-safe); snap, non-nil only
+	// when a ProgressEvery ticker runs, is the atomic snapshot it reads —
+	// the workers update it live, which is what makes time-based progress
+	// possible at all on this barrier-free path.
+	em   *engineMetrics
+	snap *progressSnap
 }
 
 // fail records the run's first terminal condition and stops the workers.
@@ -330,6 +339,12 @@ type wsWorker[S State] struct {
 	ampleStates, deferred       int
 	maxDepth                    int
 	edges                       []Edge
+
+	// obs handles, resolved once at worker creation (nil when the run is
+	// uninstrumented): incremented exactly where transitions and distinct
+	// claims are counted, so their sums match the Result counters.
+	mExp    *obs.Counter
+	mClaims *obs.Counter
 }
 
 // alloc registers the pending state under the engine lock: dense id
@@ -370,6 +385,9 @@ func (w *wsWorker[S]) alloc() int {
 		e.res.Graph.States = append(e.res.Graph.States, w.regS)
 		e.res.Graph.Keys = append(e.res.Graph.Keys, w.regS.Key())
 	}
+	if e.snap != nil {
+		e.snap.distinct.Add(1)
+	}
 	return id
 }
 
@@ -391,8 +409,12 @@ func (w *wsWorker[S]) register(s S, parent int, act string, depth int) (int, boo
 	if !isNew {
 		return id, false
 	}
+	w.mClaims.Inc()
 	if depth > w.maxDepth {
 		w.maxDepth = depth
+	}
+	if e.snap != nil {
+		e.snap.maxDepth(depth)
 	}
 	for _, inv := range e.spec.Invariants {
 		w.pg.enter(opInvariant, inv.Name, id)
@@ -445,6 +467,10 @@ const (
 func (w *wsWorker[S]) doSucc(it wsItem, succ S, act string) (int, bool, bool) {
 	e := w.e
 	w.transitions++
+	w.mExp.Inc()
+	if e.snap != nil {
+		e.snap.transitions.Add(1)
+	}
 	sid, isNew := w.register(succ, it.id, act, it.depth+1)
 	if sid < 0 || e.stop.Load() {
 		return sid, isNew, false
@@ -577,6 +603,7 @@ func (w *wsWorker[S]) expandPOR(it wsItem, s S) {
 		if ampleOK {
 			w.ampleStates++
 			w.deferred += total - len(w.ampleIDs)
+			e.em.onAmple(total - len(w.ampleIDs))
 		} else {
 			for t := 0; t < total; t++ {
 				if sc.planner.owners[t] == proc {
@@ -638,23 +665,25 @@ func (w *wsWorker[S]) trySteal() (wsItem, bool) {
 	for i := 1; i < len(w.e.deques); i++ {
 		victim := &w.e.deques[(w.idx+i)%len(w.e.deques)]
 		if n := victim.stealHalf(&w.stealBf); n > 0 {
+			w.e.em.onSteal()
 			for _, it := range w.stealBf[1:n] {
 				w.deque.push(it)
 			}
 			return w.stealBf[0], true
 		}
 	}
+	w.e.em.onStealFail()
 	return wsItem{}, false
 }
 
 // runWorkSteal is the barrier-free exploration loop behind
 // Options.Schedule == ScheduleWorkSteal.
-func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (res *Result[S], err error) {
+func runWorkSteal[S State](spec *Spec[S], opts Options, workers int, em *engineMetrics) (res *Result[S], err error) {
 	res = &Result[S]{Spec: spec.Name}
 	if opts.RecordGraph {
 		res.Graph = &Graph[S]{}
 	}
-	ret := newRetainer(spec, opts)
+	ret := newRetainer(spec, opts, em)
 	defer ret.close()
 	e := &wsEngine[S]{
 		spec:   spec,
@@ -664,6 +693,7 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (res *Resul
 		ret:    ret,
 		violID: -1,
 		deques: make([]wsDeque, workers),
+		em:     em,
 	}
 	cod := newCodec(spec, opts.ForceKeyEncoding)
 	if opts.RecordGraph && ret.arena != nil && cod.dec != nil {
@@ -694,9 +724,32 @@ func runWorkSteal[S State](spec *Spec[S], opts Options, workers int) (res *Resul
 		}
 		ws[i] = &wsWorker[S]{e: e, idx: i, cod: wcod, deque: &e.deques[i]}
 		ws[i].allocFn = ws[i].alloc
+		ws[i].mExp = em.workerExpansion(i)
+		ws[i].mClaims = em.workerClaim(i)
 		if ind != nil {
-			ws[i].por = &porScratch[S]{planner: newPORPlanner(ind)}
+			ws[i].por = &porScratch[S]{planner: newPORPlanner(ind, em)}
 		}
+	}
+
+	// Time-based progress — the only live view a barrier-free run has
+	// (there are no level boundaries to report from). The workers maintain
+	// an atomic snapshot; a dedicated ticker goroutine turns it into
+	// Options.Progress calls and journal epoch events.
+	if opts.ProgressEvery > 0 {
+		e.snap = &progressSnap{}
+		ticker := startProgressTicker(opts.ProgressEvery, func() {
+			p := e.snap.load()
+			p.Frontier = int(e.pending.Load())
+			if ret.arena != nil {
+				p.SpillBytes = ret.arena.spilledBytesAtomic()
+			}
+			em.setDequePending(int64(p.Frontier))
+			if opts.Progress != nil {
+				opts.Progress(p)
+			}
+			em.journalEpoch(p)
+		})
+		defer ticker.stop()
 	}
 
 	// Cancellation: the stopper arms the same stop flag every worker polls

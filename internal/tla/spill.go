@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // spillVisited is the disk-spilling VisitedStore: TLC's answer to state
@@ -78,12 +79,13 @@ const spillCompactAfter = 8
 type spillVisited struct {
 	budget   int64
 	fsys     FS
-	dir      string   // temp dir holding the runs; created on first spill
-	runs     []string // paths of sealed sorted run files, oldest first
-	seq      int      // run file name sequence (survives compaction)
-	resident int      // fingerprints currently held in the shard maps
-	sealed   int64    // bytes of sealed run files currently on disk
-	degraded bool     // a persistent spill-write failure switched the store to hold-resident
+	em       *engineMetrics // nil-safe observability sink
+	dir      string         // temp dir holding the runs; created on first spill
+	runs     []string       // paths of sealed sorted run files, oldest first
+	seq      int            // run file name sequence (survives compaction)
+	resident int            // fingerprints currently held in the shard maps
+	sealed   int64          // bytes of sealed run files currently on disk
+	degraded bool           // a persistent spill-write failure switched the store to hold-resident
 	shards   [visitedShards]spillShard
 
 	// scratch for ResolveLevel/EndLevel, reused across levels.
@@ -91,8 +93,8 @@ type spillVisited struct {
 	recBuf   []spillRec
 }
 
-func newSpillVisited(budget int64, fsys FS) *spillVisited {
-	vs := &spillVisited{budget: budget, fsys: resolveFS(fsys)}
+func newSpillVisited(budget int64, fsys FS, em *engineMetrics) *spillVisited {
+	vs := &spillVisited{budget: budget, fsys: resolveFS(fsys), em: em}
 	for i := range vs.shards {
 		vs.shards[i].byFP = make(map[uint64]*VisitedEntry)
 	}
@@ -107,6 +109,12 @@ func (vs *spillVisited) degradedMemory() bool { return vs.degraded }
 // set's half of Progress.SpillBytes. Merge goroutine only, like the seal
 // and compaction paths that maintain it.
 func (vs *spillVisited) spilledBytes() int64 { return vs.sealed }
+
+// residentBytes reports the budget charge of the resident fingerprint set —
+// the visited set's half of Progress.ResidentBytes. Merge goroutine only.
+func (vs *spillVisited) residentBytes() int64 {
+	return int64(vs.resident) * spillBytesPerEntry
+}
 
 // Claim implements VisitedStore. A fingerprint absent from the resident
 // maps gets a provisional ID -1 entry even if it was spilled earlier;
@@ -144,12 +152,14 @@ func (vs *spillVisited) ResolveLevel() error {
 	if len(fresh) == 0 || len(vs.runs) == 0 {
 		return nil
 	}
+	start := time.Now()
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i].fp < fresh[j].fp })
 	for _, run := range vs.runs {
-		if err := retryIO(func() error { return mergeJoinRun(vs.fsys, run, fresh) }); err != nil {
+		if err := vs.em.retry("spill", func() error { return mergeJoinRun(vs.fsys, run, fresh) }); err != nil {
 			return err
 		}
 	}
+	vs.em.onMergeJoins(len(vs.runs), time.Since(start))
 	return nil
 }
 
@@ -252,6 +262,7 @@ func (vs *spillVisited) EndLevel() error {
 	sort.Slice(recs, func(i, j int) bool { return recs[i].fp < recs[j].fp })
 	if err := vs.writeRun(recs); err != nil {
 		vs.degraded = true
+		vs.em.onDegrade("spill")
 		if len(vs.runs) > 1 {
 			vs.compactRuns() // best-effort; failure keeps the old runs sealed
 		}
@@ -261,7 +272,9 @@ func (vs *spillVisited) EndLevel() error {
 	if len(vs.runs) > spillCompactAfter {
 		// Compaction is an optimization: on failure the original runs stay
 		// sealed and consulted — more merge-join fan-in, same answers.
-		vs.compactRuns()
+		if vs.compactRuns() == nil {
+			vs.em.onCompaction()
+		}
 	}
 	return nil
 }
@@ -271,7 +284,7 @@ func (vs *spillVisited) ensureDir() error {
 	if vs.dir != "" {
 		return nil
 	}
-	return retryIO(func() error {
+	return vs.em.retry("spill", func() error {
 		dir, err := vs.fsys.MkdirTemp("", "tla-spill-")
 		if err != nil {
 			return fmt.Errorf("tla: creating spill dir: %w", err)
@@ -289,11 +302,12 @@ func (vs *spillVisited) writeRun(recs []spillRec) error {
 	vs.seq++
 	// The whole file is rewritten per attempt: a torn write from a failed
 	// attempt is overwritten, never appended to.
-	if err := retryIO(func() error { return writeRecsFile(vs.fsys, path, recs) }); err != nil {
+	if err := vs.em.retry("spill", func() error { return writeRecsFile(vs.fsys, path, recs) }); err != nil {
 		return err
 	}
 	vs.runs = append(vs.runs, path)
 	vs.sealed += int64(len(recs)) * spillRecSize
+	vs.em.onRunSeal(int64(len(recs)) * spillRecSize)
 	return nil
 }
 
@@ -462,14 +476,14 @@ func (vs *spillVisited) snapshotRuns(fsys FS, dir, prefix string) ([]string, err
 	if len(recs) > 0 {
 		sort.Slice(recs, func(i, j int) bool { return recs[i].fp < recs[j].fp })
 		name := prefix + "visited-resident"
-		if err := retryIO(func() error { return writeRecsFile(fsys, filepath.Join(dir, name), recs) }); err != nil {
+		if err := vs.em.retry("checkpoint", func() error { return writeRecsFile(fsys, filepath.Join(dir, name), recs) }); err != nil {
 			return nil, err
 		}
 		names = append(names, name)
 	}
 	for i, run := range vs.runs {
 		name := fmt.Sprintf("%svisited-%06d", prefix, i)
-		if err := retryIO(func() error { return copyFileFS(fsys, run, filepath.Join(dir, name)) }); err != nil {
+		if err := vs.em.retry("checkpoint", func() error { return copyFileFS(fsys, run, filepath.Join(dir, name)) }); err != nil {
 			return nil, err
 		}
 		names = append(names, name)
@@ -491,7 +505,7 @@ func (vs *spillVisited) adoptRuns(fsys FS, srcDir string, names []string) error 
 	for _, name := range names {
 		dst := filepath.Join(vs.dir, fmt.Sprintf("run-%06d", vs.seq))
 		vs.seq++
-		if err := retryIO(func() error { return copyFileFS(fsys, filepath.Join(srcDir, name), dst) }); err != nil {
+		if err := vs.em.retry("checkpoint", func() error { return copyFileFS(fsys, filepath.Join(srcDir, name), dst) }); err != nil {
 			return err
 		}
 		vs.runs = append(vs.runs, dst)

@@ -99,7 +99,7 @@ func TestSpillMatchesMemoryStore(t *testing.T) {
 // exploration must actually seal runs on disk, reproduce the resident
 // result exactly, and remove its spill directory on Close.
 func TestSpillStoreSealsAndRevives(t *testing.T) {
-	st := newSpillVisited(1, nil)
+	st := newSpillVisited(1, nil, nil)
 	want, wantErr := Check(counterSpec(15), Options{RecordGraph: true, Workers: 2})
 	got, gotErr := Check(counterSpec(15), Options{RecordGraph: true, Workers: 2, Visited: st})
 	assertResultsEqual(t, "plugged-spill", want, got, wantErr, gotErr)
@@ -126,7 +126,7 @@ func TestSpillStoreSealsAndRevives(t *testing.T) {
 // its original id by the next level's merge-on-lookup, and an unseen one
 // must stay unassigned.
 func TestSpillStoreProtocol(t *testing.T) {
-	st := newSpillVisited(1, nil)
+	st := newSpillVisited(1, nil, nil)
 	defer st.Close()
 
 	a := st.Claim([]byte("a"))
@@ -171,7 +171,7 @@ func TestSpillStoreProtocol(t *testing.T) {
 // into one, previously spilled ids still revive through the compacted
 // run, and duplicate fingerprints across runs collapse to one record.
 func TestSpillRunCompaction(t *testing.T) {
-	st := newSpillVisited(1, nil)
+	st := newSpillVisited(1, nil, nil)
 	defer st.Close()
 
 	entries := map[string]*VisitedEntry{}

@@ -226,9 +226,9 @@ type checkpointVisited interface {
 // otherwise. A checkpointing run forces fingerprint mode even for the
 // sequential oracle — checkpoints persist (fingerprint, id) records, which
 // a full-encoding map cannot be rebuilt from.
-func newVisitedStore(opts Options, workers int) VisitedStore {
+func newVisitedStore(opts Options, workers int, em *engineMetrics) VisitedStore {
 	if opts.MemoryBudgetBytes > 0 {
-		return newSpillVisited(opts.MemoryBudgetBytes, opts.FS)
+		return newSpillVisited(opts.MemoryBudgetBytes, opts.FS, em)
 	}
 	return newMemVisited(opts.CollisionFree || (workers == 1 && !opts.checkpointing()))
 }

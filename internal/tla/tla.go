@@ -19,9 +19,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // State is implemented by specification states. Key returns a canonical
@@ -383,26 +386,64 @@ type Options struct {
 	// the CLIs use to persist the flag configuration a resumed process
 	// needs to rebuild the identical spec.
 	CheckpointMeta map[string]string
-	// Progress, when non-nil, is called at every BFS level boundary of a
-	// level-synchronized run with a snapshot of the exploration so far —
-	// the hook a long-lived server (cmd/checkd) streams to clients. The
-	// callback runs on the merge goroutine between levels, so it must not
-	// block for long and must not call back into the engine; it needs no
-	// internal locking of its own. The work-stealing schedule has no level
-	// structure and reports nothing — runs that want progress and asked
-	// for ScheduleWorkSteal should accept the level-sync fallback instead.
+	// Progress, when non-nil, is called with a snapshot of the exploration
+	// so far — the hook a long-lived server (cmd/checkd) streams to
+	// clients. Its delivery contract depends on ProgressEvery:
+	//
+	// With ProgressEvery zero, Progress fires at every BFS level boundary
+	// of a level-synchronized run, on the merge goroutine between levels —
+	// so it must not block for long, must not call back into the engine,
+	// and needs no internal locking of its own. The work-stealing schedule
+	// has no level structure and, on this path, reports nothing at all.
+	//
+	// With ProgressEvery > 0, the level-boundary path is disabled and
+	// Progress instead fires on a wall-clock ticker under BOTH schedules —
+	// the supported way to observe a ScheduleWorkSteal run. The callback
+	// then runs on a dedicated timer goroutine concurrent with the
+	// exploration (never with itself), so it must be safe to run off the
+	// merge goroutine.
 	Progress func(Progress)
+	// ProgressEvery, when positive, switches Progress to time-based
+	// delivery: a snapshot roughly every ProgressEvery, scheduler-agnostic
+	// (see Progress for the threading contract). Under level-sync the
+	// snapshot is the last completed level boundary; under work-stealing
+	// it is a live read of the engine's atomic counters.
+	ProgressEvery time.Duration
+	// Metrics, when non-nil, is the run's metrics registry: the engine
+	// resolves counters, gauges and histograms from it at run start (see
+	// the README's Observability section for the name catalogue) and
+	// updates them as exploration proceeds. The registry may be scraped
+	// concurrently — checkd serves per-job registries on GET /metrics. nil
+	// disables metric collection at the cost of one nil-check branch per
+	// instrumentation point.
+	Metrics *obs.Registry
+	// JournalWriter, when non-nil, receives the run journal: JSONL, one
+	// structured event per BFS level (level-sync) or progress epoch
+	// (work-stealing ticker), plus checkpoint, I/O-degradation and
+	// terminal-verdict events, each with a schema version, sequence number
+	// and monotone timestamp — enough to reconstruct the run's shape after
+	// the fact. Journal write failures never fail the run. The writer must
+	// be safe for the single journal goroutine holding its lock; an
+	// *os.File is fine.
+	JournalWriter io.Writer
 }
 
 // Progress is one Options.Progress snapshot: the counters of an in-flight
-// run at a BFS level boundary, before the level's frontier is expanded.
+// run — at a BFS level boundary (the default delivery), or at a wall-clock
+// tick when ProgressEvery is set. Under work-stealing, Level stays 0 and
+// Frontier is the number of pending deque items rather than a level width.
 type Progress struct {
 	Distinct    int   // distinct states found so far
 	Transitions int   // transitions examined so far
 	Depth       int   // maximum BFS depth reached so far
 	Level       int   // fully merged BFS levels
-	Frontier    int   // states awaiting expansion at this level
+	Frontier    int   // states awaiting expansion (level width, or pending deque items)
 	SpillBytes  int64 // bytes of visited runs + arena segments on disk (spill pressure)
+	// ResidentBytes estimates the memory charged against
+	// Options.MemoryBudgetBytes (resident visited fingerprints plus
+	// resident arena segments); 0 when no budget-tracking store is active.
+	// Budget minus this is the run's headroom before the next spill.
+	ResidentBytes int64
 }
 
 // checkpointing reports whether the run writes or resumes checkpoints.
@@ -453,6 +494,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: PartialOrder's cycle proviso needs the built-in claim-then-assign visited protocol; plugged-in Visited/Frontier stores cannot honor it", ErrInvalidOptions)
 	case o.PartialOrder && o.MaxDepth > 0:
 		return fmt.Errorf("%w: PartialOrder changes the depth at which deferred interleavings are explored, so MaxDepth would cut a different state set than the unpruned run; bound with MaxStates instead", ErrInvalidOptions)
+	case o.ProgressEvery < 0:
+		return fmt.Errorf("%w: negative ProgressEvery %s (0 means per-level Progress delivery)", ErrInvalidOptions, o.ProgressEvery)
 	}
 	return nil
 }
@@ -564,26 +607,29 @@ func Check[S State](spec *Spec[S], opts Options) (*Result[S], error) {
 	}
 	workers := resolveWorkers(opts.Workers)
 	eff := opts.effectiveSchedule()
+	em := newEngineMetrics(opts, workers)
+	em.journalStart(spec.Name, eff, workers, opts.PartialOrder && spec.Independence != nil)
 	var (
 		res *Result[S]
 		err error
 	)
 	if eff == ScheduleWorkSteal {
-		res, err = runWorkSteal(spec, opts, workers)
+		res, err = runWorkSteal(spec, opts, workers, em)
 	} else {
 		vs := opts.Visited
 		if vs == nil {
-			vs = newVisitedStore(opts, workers)
+			vs = newVisitedStore(opts, workers, em)
 			defer vs.Close()
 		}
 		fr := opts.Frontier
 		if fr == nil {
 			fr = newLevelFrontier()
 		}
-		res, err = runEngine(spec, opts, workers, vs, fr)
+		res, err = runEngine(spec, opts, workers, vs, fr, em)
 	}
 	if res != nil {
 		res.Schedule = eff
+		em.journalEnd(coreOf(res), err)
 	}
 	return res, err
 }

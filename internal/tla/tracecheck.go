@@ -87,6 +87,26 @@ type TraceOptions struct {
 	// Deadline, when set, bounds the run in wall-clock time, composed with
 	// Context exactly as Options.Deadline is.
 	Deadline time.Time
+	// Progress, when non-nil together with ProgressEvery, receives periodic
+	// snapshots of the advance. It is called from the merge goroutine
+	// between observations — never concurrently with itself or with the
+	// frontier advance — at most once per ProgressEvery. Long traces whose
+	// per-observation advance is slow report at observation granularity;
+	// there is no mid-observation delivery.
+	Progress func(TraceProgress)
+	// ProgressEvery is the minimum interval between Progress deliveries.
+	// Zero disables periodic progress (Progress is then never called).
+	ProgressEvery time.Duration
+}
+
+// TraceProgress is one periodic snapshot of a trace-checking run.
+type TraceProgress struct {
+	// Step is the index of the observation about to be advanced past;
+	// Total is len(trace).
+	Step, Total int
+	// Frontier is the number of candidate states consistent with the
+	// trace prefix ending at the last matched observation.
+	Frontier int
 }
 
 // Validate rejects nonsensical trace-checking options with
@@ -97,6 +117,8 @@ func (o TraceOptions) Validate() error {
 		return fmt.Errorf("%w: negative Workers %d (0 means GOMAXPROCS, 1 is sequential)", ErrInvalidOptions, o.Workers)
 	case !o.Deadline.IsZero() && !o.Deadline.After(time.Now()):
 		return fmt.Errorf("%w: Deadline %s is in the past", ErrInvalidOptions, o.Deadline.Format(time.RFC3339))
+	case o.ProgressEvery < 0:
+		return fmt.Errorf("%w: negative ProgressEvery %s", ErrInvalidOptions, o.ProgressEvery)
 	}
 	return nil
 }
@@ -180,10 +202,23 @@ func CheckTraceWith[S State](spec *Spec[S], trace []Observation[S], opts TraceOp
 	res.Steps = 1
 	res.FrontierSizes = append(res.FrontierSizes, len(frontier))
 
+	var lastProg time.Time
+	if opts.Progress != nil && opts.ProgressEvery > 0 {
+		lastProg = time.Now()
+	}
 	for i := 1; i < len(trace); i++ {
 		if st.stopped() {
 			res.Interrupted = true
 			return res, st.err()
+		}
+		// Time-based progress, checked between observations on the merge
+		// goroutine: one clock read per observation when enabled, zero
+		// concurrency with the frontier advance.
+		if opts.Progress != nil && opts.ProgressEvery > 0 {
+			if now := time.Now(); now.Sub(lastProg) >= opts.ProgressEvery {
+				lastProg = now
+				opts.Progress(TraceProgress{Step: i, Total: len(trace), Frontier: len(frontier)})
+			}
 		}
 		chunks := advanceFrontier(spec, wcods, frontier, trace[i], opts.Stuttering)
 
